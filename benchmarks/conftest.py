@@ -1,0 +1,34 @@
+"""Shared fixtures for the paper-figure benchmarks.
+
+Each benchmark regenerates one table/figure of the paper at smoke
+scale, asserts its shape checks, and prints the paper-style report
+(run pytest with ``-s`` to see them).  Results are cached in a shared
+runner, so figures built from the same simulations (e.g. Figs. 13 and
+16) pay for them once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiment import ExperimentRunner, SMOKE_SCALE
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared, memoizing experiment runner per benchmark session."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The benchmark simulation scale."""
+    return SMOKE_SCALE
+
+
+def report_and_check(report, benchmark_output=True):
+    """Print a figure report and assert its shape checks."""
+    print()
+    print(report.render())
+    failed = [name for name, ok in report.checks if not ok]
+    assert not failed, f"shape checks failed: {failed}"

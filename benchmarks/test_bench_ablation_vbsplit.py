@@ -1,0 +1,36 @@
+"""Ablation A1: k-way virtual block split.
+
+The paper (Section 3.3.1) notes a physical block "can be divided into
+multiple virtual blocks rather than two; however, the performance
+enhancement and the overhead of maintaining the virtual blocks should
+be balanced."  This bench sweeps the split factor.
+"""
+
+from repro.analysis.tables import ascii_table, format_pct
+from repro.bench.experiment import Cell
+
+
+def test_ablation_vb_split(benchmark, runner, scale):
+    def run():
+        rows = []
+        for split in (2, 3, 4):
+            cell = Cell(
+                workload="web-sql", speed_ratio=4.0, vb_split=split, scale=scale
+            )
+            base, ppb = runner.compare(cell)
+            gain = (base.read_us - ppb.read_us) / base.read_us
+            erase_delta = (
+                (ppb.erase_count - base.erase_count) / base.erase_count
+                if base.erase_count
+                else 0.0
+            )
+            rows.append([f"{split}-way", format_pct(gain),
+                         format_pct(erase_delta, signed=True)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(ascii_table(["VB split", "read gain", "erase delta"], rows,
+                      title="Ablation: k-way virtual block split (web-sql, 4x)"))
+    gains = [float(r[1].rstrip("%")) for r in rows]
+    assert all(g > 0 for g in gains), "every split factor should beat the baseline"

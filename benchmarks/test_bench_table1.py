@@ -1,0 +1,19 @@
+"""Table 1: device parameter validation (timing model sanity)."""
+
+from conftest import report_and_check
+
+from repro.bench.figures import table1
+from repro.nand.latency import LatencyModel
+from repro.nand.spec import table1_spec
+
+
+def test_table1_parameters(benchmark):
+    report = benchmark.pedantic(table1, rounds=1, iterations=1)
+    report_and_check(report)
+
+
+def test_latency_model_construction_speed(benchmark):
+    """Building the per-page latency tables for the full 64 GB device."""
+    spec = table1_spec(speed_ratio=5.0)
+    model = benchmark(LatencyModel, spec)
+    assert model.fastest_page_read_us() == 49.0

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Quickstart: conventional FTL vs PPB on a 3D charge-trap device.
+
+Builds a scaled device with a 4x page access speed difference,
+synthesizes a web/SQL-style enterprise workload, replays it under the
+conventional (speed-oblivious) FTL and the paper's PPB strategy, and
+prints the read enhancement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_comparison
+
+if __name__ == "__main__":
+    print("PPB quickstart — DAC'17 reproduction")
+    print("=" * 50)
+    print(quick_comparison(workload="web-sql", num_requests=30_000, speed_ratio=4.0))
+    print()
+    print("Try: python -m repro figure 14    (full paper figure)")

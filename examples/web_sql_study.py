@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Web/SQL server study: the paper's headline workload.
+
+Sweeps the page access speed difference from 2x to 5x (as Figs. 14/17
+do) and reports the read/write latency of the conventional FTL vs PPB
+at each point, plus the four-level classification dynamics.
+
+Run:  python examples/web_sql_study.py
+"""
+
+from repro.analysis.charts import ascii_series
+from repro.analysis.tables import ascii_table, format_pct
+from repro.nand.spec import sim_spec
+from repro.sim.replay import replay_trace
+from repro.traces.workloads import WebSqlWorkload
+
+REQUESTS = 60_000
+SWEEP = (2.0, 3.0, 4.0, 5.0)
+
+
+def main() -> None:
+    base_spec = sim_spec()
+    trace = WebSqlWorkload(
+        num_requests=REQUESTS,
+        footprint_bytes=int(base_spec.logical_bytes * 0.8),
+    ).generate()
+    print(f"workload: {trace}")
+
+    rows = []
+    conv_series, ppb_series = [], []
+    for ratio in SWEEP:
+        spec = sim_spec(speed_ratio=ratio)
+        conv = replay_trace(trace, spec, "conventional")
+        ppb = replay_trace(trace, spec, "ppb")
+        gain = (conv.read_us - ppb.read_us) / conv.read_us
+        conv_series.append(conv.read_seconds)
+        ppb_series.append(ppb.read_seconds)
+        rows.append(
+            [
+                f"{ratio:.0f}x",
+                f"{conv.read_seconds:.2f}",
+                f"{ppb.read_seconds:.2f}",
+                format_pct(gain),
+                f"{conv.ftl.stats.host_write_us / 1e6:.2f}",
+                f"{ppb.ftl.stats.host_write_us / 1e6:.2f}",
+            ]
+        )
+        print(f"  {ratio:.0f}x done (read gain {format_pct(gain)})")
+
+    print()
+    print(ascii_table(
+        ["speed diff", "conv read (s)", "ppb read (s)", "read gain",
+         "conv write (s)", "ppb write (s)"],
+        rows,
+        title="web/SQL server: speed-difference sweep (paper Figs. 14/17)",
+    ))
+    print()
+    print(ascii_series(
+        [f"{r:.0f}x" for r in SWEEP],
+        {"conventional": conv_series, "ppb": ppb_series},
+        title="total read latency (s)",
+        unit="s",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_number(value: float, digits: int = 3) -> str:
+    """Compact numeric formatting: ints plain, floats to ``digits``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6:
+        return f"{value:.3e}"
+    if abs(value) >= 100:
+        return f"{value:,.1f}"
+    return f"{value:.{digits}g}"
+
+
+def format_pct(fraction: float, signed: bool = False) -> str:
+    """Render a fraction as a percentage string."""
+    pct = fraction * 100.0
+    return f"{pct:+.2f}%" if signed else f"{pct:.2f}%"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed, column-aligned plain-text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [format_number(c) if isinstance(c, (int, float)) else str(c) for c in row]
+        )
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(char: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(char * (w + 2) for w in widths) + joint
+
+    def render_row(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(render_row(cells[0]))
+    out.append(line("="))
+    for row in cells[1:]:
+        out.append(render_row(row))
+    out.append(line())
+    return "\n".join(out)

@@ -1,0 +1,45 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+:mod:`repro.bench.experiment` runs one (workload, device, FTL) cell and
+caches results so figures sharing cells (e.g. Figs. 13 and 16 use the
+same runs) pay once.  :mod:`repro.bench.figures` parameterizes the
+cells per paper artifact and renders paper-style reports.
+"""
+
+from repro.bench.experiment import (
+    BenchScale,
+    Cell,
+    CellResult,
+    ExperimentRunner,
+    FULL_SCALE,
+    SMOKE_SCALE,
+)
+from repro.bench.figures import (
+    FigureReport,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    table1,
+)
+
+__all__ = [
+    "BenchScale",
+    "Cell",
+    "CellResult",
+    "ExperimentRunner",
+    "FULL_SCALE",
+    "SMOKE_SCALE",
+    "FigureReport",
+    "table1",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure18",
+]

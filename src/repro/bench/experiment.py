@@ -1,0 +1,203 @@
+"""Experiment cells: one (workload, device, FTL) simulation each.
+
+A *cell* pins every knob an experiment can vary; the runner executes
+cells on demand and memoizes results, because the paper's figures share
+underlying runs (Figs. 13 and 16 are the read and write views of the
+same eight simulations; Fig. 18 reuses them again for erase counts).
+
+Scales
+------
+The paper simulates a 64 GB device over multi-day MSR traces; that is
+out of reach for pure Python, so cells run on proportionally scaled
+devices (same pages/block, latencies and over-provisioning — only the
+block count and request count shrink).  Two presets:
+
+* ``FULL_SCALE`` — the EXPERIMENTS.md numbers (minutes per figure).
+* ``SMOKE_SCALE`` — small enough for CI benches (seconds per figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import PPBConfig
+from repro.errors import ConfigError
+from repro.nand.spec import NandSpec, sim_spec
+from repro.sim.replay import replay_trace
+from repro.traces.record import Trace
+from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
+
+#: workload name -> generator class.
+WORKLOADS = {
+    "media-server": MediaServerWorkload,
+    "web-sql": WebSqlWorkload,
+    "uniform": UniformWorkload,
+}
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """How big the simulated device and trace are."""
+
+    name: str
+    num_requests: int
+    blocks_per_chip: int
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.num_requests} reqs, {self.blocks_per_chip} blocks)"
+
+
+FULL_SCALE = BenchScale("full", num_requests=120_000, blocks_per_chip=256)
+#: small enough for CI benches, but not so small that PPB's handful of
+#: held-open blocks distorts the effective over-provisioning (the erase
+#: comparison of Fig. 18 needs a reasonable block count to be fair).
+SMOKE_SCALE = BenchScale("smoke", num_requests=40_000, blocks_per_chip=160)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-specified simulation."""
+
+    workload: str = "web-sql"
+    ftl: str = "conventional"
+    page_size: int = 16 * 1024
+    speed_ratio: float = 2.0
+    latency_profile: str = "linear"
+    scale: BenchScale = FULL_SCALE
+    footprint_fraction: float = 0.80
+    seed: int = 42
+    vb_split: int = 2
+    identifier: str = "size_check"
+    allocation_discipline: str = "pipelined"
+    gc_migration_batch: int = 16
+
+    def spec(self) -> NandSpec:
+        """The device spec this cell runs on."""
+        return sim_spec(
+            page_size=self.page_size,
+            speed_ratio=self.speed_ratio,
+            latency_profile=self.latency_profile,
+            blocks_per_chip=self.scale.blocks_per_chip,
+        )
+
+    def ppb_config(self) -> PPBConfig:
+        """The PPB configuration this cell uses (ignored by baselines)."""
+        return PPBConfig(
+            vb_split=self.vb_split,
+            identifier=self.identifier,
+            allocation_discipline=self.allocation_discipline,
+            gc_migration_batch=self.gc_migration_batch,
+        )
+
+    def with_(self, **changes: object) -> "Cell":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class CellResult:
+    """Everything the figures need from one run."""
+
+    cell: Cell
+    #: total host read service time (us) — Figs. 12/13/14.
+    read_us: float
+    #: total host write *program* service time (us) — Figs. 15/16/17
+    #: (the paper's write-latency comparison excludes GC; GC shows up
+    #: in the erase counts of Fig. 18 instead).
+    host_write_us: float
+    #: host write + GC time (us), for completeness.
+    total_write_us: float
+    #: erased block count — Fig. 18.
+    erase_count: int
+    write_amplification: float
+    gc_copied_pages: int
+    #: diagnostic: fraction of host reads served from the fast half.
+    fast_read_fraction: float
+    extra: dict[str, float]
+
+    @property
+    def read_seconds(self) -> float:
+        """Total read latency in seconds (paper's Fig. 13/14 axis)."""
+        return self.read_us / 1e6
+
+    @property
+    def write_seconds(self) -> float:
+        """Total write latency in seconds (paper's Fig. 16/17 axis)."""
+        return self.host_write_us / 1e6
+
+
+class ExperimentRunner:
+    """Executes cells with trace and result memoization."""
+
+    def __init__(self) -> None:
+        self._traces: dict[tuple, Trace] = {}
+        self._results: dict[Cell, CellResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def trace_for(self, cell: Cell) -> Trace:
+        """The (cached) trace a cell replays.
+
+        The trace depends only on workload/scale/footprint/seed — NOT on
+        page size, speed ratio or FTL — so a page-size study replays the
+        byte-identical request stream, as the paper's Fig. 12 requires.
+        """
+        spec = cell.spec()
+        footprint = int(spec.logical_bytes * cell.footprint_fraction)
+        key = (cell.workload, cell.scale.num_requests, footprint, cell.seed)
+        if key not in self._traces:
+            try:
+                workload_cls = WORKLOADS[cell.workload]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown workload {cell.workload!r}; choose from {sorted(WORKLOADS)}"
+                ) from None
+            generator = workload_cls(
+                num_requests=cell.scale.num_requests,
+                footprint_bytes=footprint,
+                seed=cell.seed,
+            )
+            self._traces[key] = generator.generate()
+        return self._traces[key]
+
+    def run(self, cell: Cell) -> CellResult:
+        """Run (or fetch) one cell."""
+        if cell in self._results:
+            return self._results[cell]
+        trace = self.trace_for(cell)
+        run = replay_trace(
+            trace,
+            cell.spec(),
+            ftl_kind=cell.ftl,
+            ppb_config=cell.ppb_config() if cell.ftl == "ppb" else None,
+            warm_fill_fraction=cell.footprint_fraction,
+        )
+        ftl = run.ftl  # type: ignore[attr-defined]
+        fast_fraction = (
+            ftl.fast_page_read_fraction()
+            if hasattr(ftl, "fast_page_read_fraction")
+            else 0.0
+        )
+        result = CellResult(
+            cell=cell,
+            read_us=ftl.stats.host_read_us,
+            host_write_us=ftl.stats.host_write_us,
+            total_write_us=ftl.stats.total_write_us,
+            erase_count=ftl.stats.erase_count,
+            write_amplification=ftl.stats.write_amplification,
+            gc_copied_pages=ftl.stats.gc_copied_pages,
+            fast_read_fraction=fast_fraction,
+            extra=dict(ftl.stats.extra),
+        )
+        self._results[cell] = result
+        return result
+
+    def compare(self, cell: Cell, baseline: str = "conventional") -> tuple[CellResult, CellResult]:
+        """Run a cell under PPB and a baseline; returns (baseline, ppb)."""
+        base = self.run(cell.with_(ftl=baseline))
+        ppb = self.run(cell.with_(ftl="ppb"))
+        return base, ppb
+
+
+#: module-level runner so pytest benches and the CLI share one cache.
+SHARED_RUNNER = ExperimentRunner()

@@ -1,0 +1,130 @@
+"""Command-line interface: ``repro-flash`` / ``python -m repro``.
+
+Subcommands
+-----------
+``figure {table1,12,...,18,all}``
+    Regenerate a paper artifact and print the paper-style report.
+``run``
+    Replay one workload on one FTL and print the run summary.
+``characterize``
+    Print trace statistics for a synthetic workload (or an MSRC CSV).
+``spec``
+    Print the Table 1 device description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiment import FULL_SCALE, SMOKE_SCALE, Cell, ExperimentRunner
+from repro.bench.figures import FIGURES
+from repro.bench.reporting import render_reports, run_figures
+from repro.nand.spec import sim_spec, table1_spec
+from repro.sim.replay import replay_trace
+from repro.traces.msr import read_msr_csv
+from repro.traces.stats import characterize
+from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
+
+_WORKLOADS = {
+    "media-server": MediaServerWorkload,
+    "web-sql": WebSqlWorkload,
+    "uniform": UniformWorkload,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flash",
+        description=(
+            "Reproduction of the DAC'17 PPB strategy for 3D charge trap "
+            "NAND with asymmetric page access speed"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig.add_argument("id", choices=sorted(FIGURES) + ["all"])
+    fig.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default="full",
+        help="simulation size (smoke is CI-fast)",
+    )
+
+    run = sub.add_parser("run", help="replay one workload on one FTL")
+    run.add_argument("--workload", choices=sorted(_WORKLOADS), default="web-sql")
+    run.add_argument(
+        "--ftl", choices=["conventional", "fast", "ppb"], default="ppb"
+    )
+    run.add_argument("--requests", type=int, default=FULL_SCALE.num_requests)
+    run.add_argument("--speed-ratio", type=float, default=2.0)
+    run.add_argument("--page-size", type=int, default=16 * 1024)
+    run.add_argument("--seed", type=int, default=42)
+
+    char = sub.add_parser("characterize", help="print trace statistics")
+    char.add_argument("--workload", choices=sorted(_WORKLOADS), default=None)
+    char.add_argument("--msr-csv", default=None, help="path to an MSRC CSV trace")
+    char.add_argument("--requests", type=int, default=50_000)
+    char.add_argument("--page-size", type=int, default=16 * 1024)
+
+    sub.add_parser("spec", help="print the paper's Table 1 device")
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = FULL_SCALE if args.scale == "full" else SMOKE_SCALE
+    ids = None if args.id == "all" else [args.id]
+    reports = run_figures(ids, runner=ExperimentRunner(), scale=scale)
+    print(render_reports(reports))
+    return 0 if all(r.all_checks_pass for r in reports) else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = sim_spec(speed_ratio=args.speed_ratio, page_size=args.page_size)
+    generator = _WORKLOADS[args.workload](
+        num_requests=args.requests,
+        footprint_bytes=int(spec.logical_bytes * Cell.footprint_fraction),
+        seed=args.seed,
+    )
+    trace = generator.generate()
+    result = replay_trace(trace, spec, ftl_kind=args.ftl)
+    print(result.summary())
+    ftl = result.ftl  # type: ignore[attr-defined]
+    print(f"host read total   {ftl.stats.host_read_us / 1e6:.3f} s")
+    print(f"host write total  {ftl.stats.host_write_us / 1e6:.3f} s")
+    print(f"gc total          {ftl.stats.gc_us / 1e6:.3f} s")
+    print(f"erased blocks     {ftl.stats.erase_count}")
+    print(f"write amp.        {ftl.stats.write_amplification:.3f}")
+    if hasattr(ftl, "fast_page_read_fraction"):
+        print(f"fast-half reads   {ftl.fast_page_read_fraction():.3f}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    if args.msr_csv:
+        trace = read_msr_csv(args.msr_csv)
+    else:
+        workload = args.workload or "web-sql"
+        trace = _WORKLOADS[workload](num_requests=args.requests).generate()
+    print(characterize(trace, page_size=args.page_size).describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "spec":
+        print(table1_spec().describe())
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

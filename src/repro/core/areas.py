@@ -1,0 +1,101 @@
+"""Hot and cold area managers: trackers + classification flow.
+
+The areas own the paper's second-stage refinement (Figs. 10/11):
+
+* the **hot area** runs the two-level LRU — hot writes enter the hot
+  list, reads promote to iron-hot, overflow demotes toward the cold
+  area;
+* the **cold area** runs the access-frequency table — cold writes
+  register as icy-cold, reads promote to cold, aging and eviction
+  demote back.
+
+The areas decide *levels*; the :class:`~repro.core.vblists.AreaAllocator`
+decides *pages*.  Keeping them separate mirrors the paper's split
+between identification (Section 3.2/3.4) and allocation (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PPBConfig
+from repro.core.freqtable import AccessFrequencyTable
+from repro.core.hotness import HotnessLevel
+from repro.core.lru import TwoLevelLRU
+
+
+class HotArea:
+    """Hot/iron-hot classification via the two-level LRU."""
+
+    def __init__(self, config: PPBConfig, num_lpns: int) -> None:
+        self.lru = TwoLevelLRU(
+            hot_capacity=config.hot_list_capacity(num_lpns),
+            iron_capacity=config.iron_list_capacity(num_lpns),
+        )
+
+    def level_of(self, lpn: int) -> HotnessLevel | None:
+        """IRON_HOT / HOT when tracked, else None."""
+        return self.lru.level_of(lpn)
+
+    def on_write(self, lpn: int) -> tuple[HotnessLevel, list[int]]:
+        """A hot-classified write: returns (target level, LPNs demoted to cold).
+
+        An update of an iron-hot chunk stays iron-hot (it keeps earning
+        fast pages); anything else (re)enters the hot list.
+        """
+        level = (
+            HotnessLevel.IRON_HOT
+            if self.lru.level_of(lpn) is HotnessLevel.IRON_HOT
+            else HotnessLevel.HOT
+        )
+        evicted = self.lru.on_write(lpn)
+        return level, evicted
+
+    def on_read(self, lpn: int) -> list[int]:
+        """A read of a tracked chunk: promote, return demotion cascade."""
+        return self.lru.on_read(lpn)
+
+    def drop(self, lpn: int) -> None:
+        """Stop tracking (chunk reclassified cold or trimmed)."""
+        self.lru.drop(lpn)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self.lru
+
+
+class ColdArea:
+    """Cold/icy-cold classification via the access-frequency table."""
+
+    def __init__(self, config: PPBConfig, num_lpns: int) -> None:
+        self.table = AccessFrequencyTable(
+            capacity=config.freq_table_capacity(num_lpns),
+            promote_reads=config.cold_promote_reads,
+            aging_period=config.freq_aging_period,
+        )
+
+    def level_of(self, lpn: int) -> HotnessLevel:
+        """COLD once read enough, ICY_COLD otherwise."""
+        return self.table.level_of(lpn)
+
+    def on_write(self, lpn: int) -> HotnessLevel:
+        """A cold-classified write registers as fresh icy-cold data.
+
+        Updated cold data is demoted (it is no longer write-once,
+        Fig. 11b), so the count resets and placement targets the
+        icy-cold (slow) virtual blocks.
+        """
+        self.table.on_write(lpn)
+        return HotnessLevel.ICY_COLD
+
+    def on_read(self, lpn: int) -> bool:
+        """Log a read; True if it promoted the chunk icy -> cold."""
+        return self.table.on_read(lpn)
+
+    def adopt_demoted(self, lpn: int) -> None:
+        """Take over a chunk evicted from the hot area (Fig. 6)."""
+        self.table.on_write(lpn)
+
+    def drop(self, lpn: int) -> None:
+        """Stop tracking (chunk reclassified hot or trimmed)."""
+        self.table.drop(lpn)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self.table

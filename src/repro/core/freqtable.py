@@ -1,0 +1,123 @@
+"""The cold area's access-frequency table (paper Fig. 11a).
+
+Each cold-classified chunk gets an entry logging its read re-access
+count.  Chunks read at least ``promote_reads`` times classify as COLD
+(write-once-read-many — they earn fast pages at their next relocation);
+the rest stay ICY_COLD.  The paper keeps the table sorted by frequency;
+a threshold on the count is the O(1) equivalent and is what we do.
+
+Two pressure valves keep the table honest:
+
+* **capacity eviction** — when full, the entry with the lowest count is
+  dropped (its data degrades to icy-cold by default);
+* **aging** — counts are halved every ``aging_period`` recorded events,
+  so data that stops being read drifts back toward icy-cold ("demote if
+  not modified"/"demote if full", Fig. 6).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import ConfigError
+from repro.core.hotness import HotnessLevel
+
+
+class AccessFrequencyTable:
+    """Bounded LPN -> read-count table with threshold classification."""
+
+    def __init__(
+        self,
+        capacity: int,
+        promote_reads: int = 1,
+        aging_period: int = 100_000,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if promote_reads < 1:
+            raise ConfigError(f"promote_reads must be >= 1, got {promote_reads}")
+        self.capacity = capacity
+        self.promote_reads = promote_reads
+        self.aging_period = aging_period
+        self._counts: dict[int, int] = {}
+        self._events_since_aging = 0
+        # Counters for reports.
+        self.promotions = 0
+        self.evictions = 0
+        self.agings = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def level_of(self, lpn: int) -> HotnessLevel:
+        """COLD once read enough, ICY_COLD otherwise (including untracked)."""
+        if self._counts.get(lpn, 0) >= self.promote_reads:
+            return HotnessLevel.COLD
+        return HotnessLevel.ICY_COLD
+
+    def count_of(self, lpn: int) -> int:
+        """Current logged read count (0 if untracked)."""
+        return self._counts.get(lpn, 0)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def on_write(self, lpn: int) -> None:
+        """A cold-classified write arrived: (re)register with zero reads.
+
+        Fresh cold data starts icy-cold; only subsequent reads promote
+        it (the paper stores new cold data in the icy-cold area first).
+        """
+        self._counts[lpn] = 0
+        self._enforce_capacity()
+        self._tick()
+
+    def on_read(self, lpn: int) -> bool:
+        """Log one read; returns True if this read promoted icy -> cold."""
+        count = self._counts.get(lpn, 0) + 1
+        self._counts[lpn] = count
+        promoted = count == self.promote_reads
+        if promoted:
+            self.promotions += 1
+        self._enforce_capacity()
+        self._tick()
+        return promoted
+
+    def drop(self, lpn: int) -> None:
+        """Remove a chunk (reclassified hot, or trimmed)."""
+        self._counts.pop(lpn, None)
+
+    # ------------------------------------------------------------------
+    # Pressure valves
+    # ------------------------------------------------------------------
+
+    def _enforce_capacity(self) -> None:
+        # Evict in batches: one O(n) scan drops the ~1.5% lowest-count
+        # entries, amortizing to O(1) per insert (a strict per-insert
+        # min() scan is quadratic over a long trace).
+        if len(self._counts) <= self.capacity:
+            return
+        batch = max(1, self.capacity // 64, len(self._counts) - self.capacity)
+        victims = heapq.nsmallest(
+            batch, self._counts.items(), key=lambda item: item[1]
+        )
+        for lpn, _ in victims:
+            del self._counts[lpn]
+            self.evictions += 1
+
+    def _tick(self) -> None:
+        if not self.aging_period:
+            return
+        self._events_since_aging += 1
+        if self._events_since_aging >= self.aging_period:
+            self._counts = {lpn: c >> 1 for lpn, c in self._counts.items()}
+            self._events_since_aging = 0
+            self.agings += 1

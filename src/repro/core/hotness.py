@@ -1,0 +1,77 @@
+"""The four data hotness levels and their placement semantics.
+
+Section 3.2 of the paper refines the classic hot/cold split into four
+levels by *read* re-access frequency:
+
+=========  =========================  =====================  ==========
+Level      Behaviour                  Example                Placement
+=========  =========================  =====================  ==========
+IRON_HOT   frequently read + written  file-system metadata   hot block, fast pages
+HOT        frequently written         temp/cache files       hot block, slow pages
+COLD       write-once-read-many       videos, pictures       cold block, fast pages
+ICY_COLD   write-once-read-few        backups                cold block, slow pages
+=========  =========================  =====================  ==========
+
+Hot and iron-hot data share *hot blocks*; cold and icy-cold data share
+*cold blocks* — never mixed, so GC always finds blocks that are either
+mostly-invalid (hot) or mostly-valid (cold), preserving its efficiency.
+Within a block, the frequently-*read* level of each area (iron-hot,
+cold) gets the fast pages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Area(enum.Enum):
+    """Which block population a piece of data belongs to."""
+
+    HOT = "hot"
+    COLD = "cold"
+
+
+class HotnessLevel(enum.IntEnum):
+    """The paper's four-level classification, ordered coldest first."""
+
+    ICY_COLD = 0
+    COLD = 1
+    HOT = 2
+    IRON_HOT = 3
+
+    @property
+    def area(self) -> Area:
+        """Hot blocks host HOT/IRON_HOT; cold blocks host COLD/ICY_COLD."""
+        if self in (HotnessLevel.HOT, HotnessLevel.IRON_HOT):
+            return Area.HOT
+        return Area.COLD
+
+    @property
+    def wants_fast_pages(self) -> bool:
+        """Frequently-read levels earn the fast (bottom-layer) pages.
+
+        Iron-hot data is read constantly; cold data is write-once but
+        *read-many*.  Hot (write-mostly) and icy-cold (read-few) data
+        can live on slow pages without hurting anything.
+        """
+        return self in (HotnessLevel.IRON_HOT, HotnessLevel.COLD)
+
+    @property
+    def label(self) -> str:
+        """Human-readable name used in reports."""
+        return {
+            HotnessLevel.ICY_COLD: "icy-cold",
+            HotnessLevel.COLD: "cold",
+            HotnessLevel.HOT: "hot",
+            HotnessLevel.IRON_HOT: "iron-hot",
+        }[self]
+
+
+def fast_level_of(area: Area) -> HotnessLevel:
+    """The level an area serves from its fast pages."""
+    return HotnessLevel.IRON_HOT if area is Area.HOT else HotnessLevel.COLD
+
+
+def slow_level_of(area: Area) -> HotnessLevel:
+    """The level an area serves from its slow pages."""
+    return HotnessLevel.HOT if area is Area.HOT else HotnessLevel.ICY_COLD

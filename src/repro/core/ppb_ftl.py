@@ -1,0 +1,286 @@
+"""PPBFTL: the Progressive Performance Boosting strategy as an FTL.
+
+Puts the pieces together on top of the shared FTL machinery
+(:class:`~repro.ftl.base.BaseFTL`):
+
+* every host write is classified — first stage by a pluggable
+  identifier (size check by default), second stage by the hot area's
+  two-level LRU or the cold area's frequency table — and placed into a
+  virtual block of the matching area + speed class via Algorithm 1;
+* every host read updates the trackers (promotions are logical only);
+* garbage collection relocates each live page according to its
+  *current* classification, which is where the progressive migration
+  to speed-appropriate pages actually happens — PPB never spends an
+  extra foreground copy on movement;
+* the GC driver, victim policy and accounting are inherited unchanged
+  from the baseline, which is what makes the paper's "no added GC
+  overhead" comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.areas import ColdArea, HotArea
+from repro.core.config import PPBConfig
+from repro.core.hotness import Area, HotnessLevel
+from repro.core.identification import FirstStageIdentifier, make_identifier
+from repro.core.vblists import AreaAllocator
+from repro.core.virtual_block import VirtualBlockManager
+from repro.errors import VirtualBlockError
+from repro.ftl.base import BaseFTL, WriteContext
+from repro.ftl.gc import VictimPolicy
+from repro.nand.device import NandDevice
+
+
+class PPBFTL(BaseFTL):
+    """Page-mapping FTL with the PPB placement strategy."""
+
+    name = "ppb"
+
+    def __init__(
+        self,
+        device: NandDevice,
+        config: PPBConfig | None = None,
+        identifier: FirstStageIdentifier | None = None,
+        victim_policy: VictimPolicy | None = None,
+        gc_low_blocks: int | None = None,
+        gc_high_blocks: int | None = None,
+    ) -> None:
+        if gc_low_blocks is None:
+            # PPB keeps up to four open blocks (two areas x two speed
+            # classes), so it needs a slightly deeper free reserve than
+            # the baseline's two.
+            gc_low_blocks = max(5, device.spec.total_blocks // 64)
+        super().__init__(device, victim_policy, gc_low_blocks, gc_high_blocks)
+        self.config = config or PPBConfig()
+        self.identifier = identifier or make_identifier(
+            self.config.identifier, self.spec.page_size
+        )
+        self.vbmgr = VirtualBlockManager(self.spec, self.config.vb_split)
+        self.hot_area = HotArea(self.config, self.num_lpns)
+        self.cold_area = ColdArea(self.config, self.num_lpns)
+        self.allocators: dict[Area, AreaAllocator] = {
+            area: AreaAllocator(
+                area,
+                device,
+                self.blocks,
+                self.vbmgr,
+                discipline=self.config.allocation_discipline,
+                max_pending=self.config.max_pending_vbs,
+            )
+            for area in (Area.HOT, Area.COLD)
+        }
+        #: optional dedicated stream consolidating GC-relocated icy data
+        #: (cold area, lifetime-separated from fresh icy host writes).
+        self.gc_icy_allocator: AreaAllocator | None = None
+        if self.config.separate_gc_icy:
+            self.gc_icy_allocator = AreaAllocator(
+                Area.COLD,
+                device,
+                self.blocks,
+                self.vbmgr,
+                discipline=self.config.allocation_discipline,
+                max_pending=1,
+            )
+        #: promoted pages awaiting migration to fast pages at next GC.
+        self._migration_queue: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def current_level(self, lpn: int) -> HotnessLevel:
+        """The chunk's present classification (GC relocation target)."""
+        level = self.hot_area.level_of(lpn)
+        if level is not None:
+            return level
+        return self.cold_area.level_of(lpn)
+
+    def _classify_write(self, lpn: int, nbytes: int) -> HotnessLevel:
+        """Run both identification stages for a host write."""
+        if self.identifier.is_hot_write(lpn, nbytes):
+            self.cold_area.drop(lpn)
+            level, evicted = self.hot_area.on_write(lpn)
+            for demoted in evicted:
+                self.cold_area.adopt_demoted(demoted)
+                self.stats.bump("ppb.demoted_to_cold")
+            return level
+        self.hot_area.drop(lpn)
+        return self.cold_area.on_write(lpn)
+
+    # ------------------------------------------------------------------
+    # BaseFTL contract: placement
+    # ------------------------------------------------------------------
+
+    def _alloc_ppn(self, lpn: int, ctx: WriteContext) -> int:
+        if ctx.is_gc:
+            level = self.current_level(lpn)
+            self.stats.bump(f"ppb.gc_place.{level.label}")
+            if (
+                level is HotnessLevel.ICY_COLD
+                and self.gc_icy_allocator is not None
+            ):
+                return self.gc_icy_allocator.alloc_page(False)
+        else:
+            level = self._classify_write(lpn, ctx.nbytes)
+            self.stats.bump(f"ppb.host_place.{level.label}")
+        allocator = self.allocators[level.area]
+        return allocator.alloc_page(level.wants_fast_pages)
+
+    def _all_allocators(self) -> list[AreaAllocator]:
+        allocators = list(self.allocators.values())
+        if self.gc_icy_allocator is not None:
+            allocators.append(self.gc_icy_allocator)
+        return allocators
+
+    def _owner_of(self, pbn: int) -> AreaAllocator:
+        """The allocator whose pair the block belongs to."""
+        for allocator in self._all_allocators():
+            if pbn in allocator.owned:
+                return allocator
+        area = self.vbmgr.area_of(pbn)
+        if area is not None:
+            return self.allocators[area]
+        raise VirtualBlockError(f"block {pbn} is not owned by any allocator")
+
+    def _active_blocks(self) -> set[int]:
+        active: set[int] = set()
+        for allocator in self._all_allocators():
+            active |= allocator.active_pbns()
+        return active
+
+    def _relocation_order(self, live_ppns: list[int]) -> list[int]:
+        """Relocate frequently-read data first (it wants the fast pages).
+
+        Within one victim, iron-hot and cold pages get first claim on
+        the fast VB space; hot and icy-cold copies follow and absorb
+        whatever class has room (Algorithm 1's diverts).
+        """
+        return sorted(
+            live_ppns,
+            key=lambda ppn: not self.current_level(
+                self.map.lpn_of(ppn)
+            ).wants_fast_pages,
+        )
+
+    # ------------------------------------------------------------------
+    # BaseFTL hooks: tracker maintenance + VB lifecycle
+    # ------------------------------------------------------------------
+
+    def _after_program(self, ppn: int) -> None:
+        pbn = self.geometry.pbn_of_ppn(ppn)
+        page = self.geometry.page_of_ppn(ppn)
+        vb = self.vbmgr.vb_of_page(pbn, page)
+        self._owner_of(pbn).note_programmed(vb)
+
+    def _on_host_write(self, lpn: int, ppn: int, ctx: WriteContext) -> None:
+        self._after_program(ppn)
+
+    def _on_gc_copy(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
+        self._after_program(new_ppn)
+
+    def _on_host_read(self, lpn: int, ppn: int) -> None:
+        if self.geometry.page_of_ppn(ppn) >= self.spec.pages_per_block // 2:
+            self.stats.bump("ppb.reads_fast_half")
+        if lpn in self.hot_area:
+            for demoted in self.hot_area.on_read(lpn):
+                self.cold_area.adopt_demoted(demoted)
+                self.stats.bump("ppb.demoted_to_cold")
+        else:
+            if self.cold_area.on_read(lpn):
+                self.stats.bump("ppb.promoted_icy_to_cold")
+            if self.cold_area.table.count_of(lpn) == self.config.migrate_reads:
+                self._migration_queue.append(lpn)
+
+    def _on_erase(self, pbn: int) -> None:
+        if self.vbmgr.is_carved(pbn):
+            self._owner_of(pbn).forget_block(pbn)
+        self.vbmgr.release(pbn)
+
+    # ------------------------------------------------------------------
+    # Progressive cold migration (paper Fig. 11a)
+    # ------------------------------------------------------------------
+
+    def _collect(self, victim: int) -> float:
+        latency = super()._collect(victim)
+        latency += self._migrate_promoted()
+        return latency
+
+    def _migrate_promoted(self) -> float:
+        """Move a bounded batch of promoted cold pages onto fast pages.
+
+        Runs piggybacked on each GC pass (the paper conducts icy -> cold
+        promotion "during GC only", Fig. 6).  Each promoted page still
+        sitting on a slow page is relocated once to the cold area's fast
+        stream; the cost is GC-accounted and bounded by the batch size,
+        so foreground writes never pay for it.
+        """
+        batch = self.config.gc_migration_batch
+        if not batch or self.blocks.free_count <= 2:
+            return 0.0
+        cold_alloc = self.allocators[Area.COLD]
+        half = self.spec.pages_per_block // 2
+        latency = 0.0
+        moved = 0
+        while self._migration_queue and moved < batch:
+            if not cold_alloc.has_space(True):
+                break
+            lpn = self._migration_queue.popleft()
+            ppn = self.map.ppn_of(lpn)
+            if ppn < 0:
+                continue
+            if self.current_level(lpn) is not HotnessLevel.COLD:
+                continue
+            if self.geometry.page_of_ppn(ppn) >= half:
+                continue  # already on a fast page
+            read_us = self.device.read_ppn(ppn, include_transfer=False)
+            dst = cold_alloc.alloc_page(True)
+            tag = self.device.tag(ppn)
+            write_us = self.device.program_ppn(dst, tag=tag, include_transfer=False)
+            self._commit_mapping(lpn, dst)
+            self._note_if_full(dst)
+            self._after_program(dst)
+            self.stats.gc_copied_pages += 1
+            self.stats.gc_read_us += read_us
+            self.stats.gc_write_us += write_us
+            self.stats.bump("ppb.migrations")
+            latency += read_us + write_us
+            moved += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def placement_report(self) -> dict[str, float]:
+        """Where data went and how the lists behaved (for EXPERIMENTS.md)."""
+        report = dict(sorted(self.stats.extra.items()))
+        for area, allocator in self.allocators.items():
+            report[f"ppb.{area.value}.diverted_writes"] = allocator.diverted_writes
+            report[f"ppb.{area.value}.pairs_opened"] = allocator.pairs_opened
+        report["ppb.lru.promotions"] = self.hot_area.lru.promotions
+        report["ppb.lru.demotions_to_hot"] = self.hot_area.lru.demotions_to_hot
+        report["ppb.lru.evictions"] = self.hot_area.lru.evictions
+        report["ppb.freq.promotions"] = self.cold_area.table.promotions
+        report["ppb.freq.evictions"] = self.cold_area.table.evictions
+        return report
+
+    def fast_page_read_fraction(self) -> float:
+        """Fraction of host reads served from the fast half of a block.
+
+        A speed-oblivious FTL sits near 0.5; good PPB placement pushes
+        this well above it.  Diagnostic for how well placement works.
+        """
+        fast = self.stats.extra.get("ppb.reads_fast_half", 0.0)
+        total = self.stats.host_read_pages
+        return fast / total if total else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name} (split={self.config.vb_split}, "
+            f"identifier={self.identifier.name}, "
+            f"lpns={self.num_lpns}, blocks={self.spec.total_blocks}, "
+            f"gc_watermarks={self.gc_low_blocks}/{self.gc_high_blocks})"
+        )

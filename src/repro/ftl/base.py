@@ -1,0 +1,280 @@
+"""Base flash translation layer: the machinery every design shares.
+
+:class:`BaseFTL` owns the page map, the block manager, the GC driver
+and all accounting; concrete designs plug in *placement* (where does
+the next page go) and *policy hooks* (what metadata to update on reads,
+writes, GC copies and erases).  The paper's conventional baseline and
+the PPB strategy differ only in those hooks, which makes the comparison
+an apples-to-apples one: identical GC driver, identical accounting.
+
+Subclass contract
+-----------------
+``_alloc_ppn(lpn, ctx)``
+    Return the PPN the next copy of ``lpn`` must be programmed to.
+    Called for host writes and GC relocations (``ctx.is_gc`` tells them
+    apart).  May allocate blocks from :attr:`blocks`.
+``_active_blocks()``
+    The set of currently OPEN blocks, excluded from victim selection.
+Optional hooks: ``_on_host_read``, ``_on_host_write``, ``_on_gc_copy``,
+``_on_block_full``, ``_on_erase``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfSpaceError
+from repro.ftl.blockinfo import BlockManager
+from repro.ftl.gc import GreedyVictimPolicy, VictimPolicy
+from repro.ftl.mapping import UNMAPPED, PageMapTable
+from repro.ftl.stats import FtlStats
+from repro.nand.device import NandDevice
+
+
+@dataclass(frozen=True)
+class WriteContext:
+    """Why a page is being programmed.
+
+    ``nbytes`` carries the *host request size* so first-stage hot/cold
+    identifiers (the paper's size check) can see it; GC relocations use
+    the page size.
+    """
+
+    nbytes: int
+    is_gc: bool = False
+
+
+class BaseFTL:
+    """Shared FTL machinery; see module docstring for the contract."""
+
+    #: human-readable design name, overridden by subclasses.
+    name = "base"
+
+    def __init__(
+        self,
+        device: NandDevice,
+        victim_policy: VictimPolicy | None = None,
+        gc_low_blocks: int | None = None,
+        gc_high_blocks: int | None = None,
+    ) -> None:
+        self.device = device
+        self.spec = device.spec
+        self.geometry = device.geometry
+        self.num_lpns = self.spec.logical_pages
+        self.map = PageMapTable(self.num_lpns, self.spec.total_pages)
+        self.blocks = BlockManager(self.spec.total_blocks, self.spec.pages_per_block)
+        self.stats = FtlStats()
+        self.victim_policy = victim_policy or GreedyVictimPolicy()
+        default_low = max(4, self.spec.total_blocks // 64)
+        self.gc_low_blocks = gc_low_blocks if gc_low_blocks is not None else default_low
+        self.gc_high_blocks = (
+            gc_high_blocks if gc_high_blocks is not None else self.gc_low_blocks + 2
+        )
+        if self.gc_high_blocks <= self.gc_low_blocks:
+            self.gc_high_blocks = self.gc_low_blocks + 1
+        #: logical op clock; used as the "now" for age-based GC policies
+        #: and as the version component of page tags.
+        self._op_sequence = 0
+
+    # ------------------------------------------------------------------
+    # Host API
+    # ------------------------------------------------------------------
+
+    def host_read(self, lpn: int) -> float:
+        """Service a one-page host read; returns latency in microseconds.
+
+        Reads of never-written pages return instantly (a real device
+        answers them from the mapping table without touching flash).
+        """
+        self.map.check_lpn(lpn)
+        self._op_sequence += 1
+        ppn = self.map.ppn_of(lpn)
+        if ppn == UNMAPPED:
+            self.stats.unmapped_reads += 1
+            return 0.0
+        latency = self.device.read_ppn(ppn)
+        self.stats.host_read_pages += 1
+        self.stats.host_read_us += latency
+        self._on_host_read(lpn, ppn)
+        return latency
+
+    def host_write(self, lpn: int, nbytes: int | None = None) -> float:
+        """Service a one-page host write; returns latency in microseconds.
+
+        The returned latency includes any synchronous GC stall this
+        write triggered; :attr:`stats` keeps the program time and the
+        GC time in separate pools.
+        """
+        self.map.check_lpn(lpn)
+        self._op_sequence += 1
+        if nbytes is None:
+            nbytes = self.spec.page_size
+        gc_latency = self._ensure_space()
+        ctx = WriteContext(nbytes=nbytes, is_gc=False)
+        ppn = self._alloc_ppn(lpn, ctx)
+        latency = self.device.program_ppn(ppn, tag=(lpn, self._op_sequence))
+        self._commit_mapping(lpn, ppn)
+        self.stats.host_write_pages += 1
+        self.stats.host_write_us += latency
+        self._note_if_full(ppn)
+        self._on_host_write(lpn, ppn, ctx)
+        return latency + gc_latency
+
+    def trim(self, lpn: int) -> None:
+        """Host discard: drop the mapping and invalidate the old copy."""
+        self.map.check_lpn(lpn)
+        self._op_sequence += 1
+        old_ppn = self.map.unmap(lpn)
+        if old_ppn != UNMAPPED:
+            self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old_ppn))
+            self.stats.trimmed_pages += 1
+
+    # ------------------------------------------------------------------
+    # Mapping / accounting plumbing
+    # ------------------------------------------------------------------
+
+    def _commit_mapping(self, lpn: int, ppn: int) -> None:
+        """Record the new copy and invalidate the superseded one."""
+        pbn = self.geometry.pbn_of_ppn(ppn)
+        old_ppn = self.map.remap(lpn, ppn)
+        self.blocks.note_program_valid(pbn)
+        if old_ppn != UNMAPPED:
+            self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old_ppn))
+
+    def _note_if_full(self, ppn: int) -> None:
+        """Flip the owning block to FULL when its last page was programmed."""
+        pbn = self.geometry.pbn_of_ppn(ppn)
+        if self.device.is_block_full(pbn):
+            self.blocks.note_full(pbn)
+            self.victim_policy.note_block_written(pbn, float(self._op_sequence))
+            self._on_block_full(pbn)
+
+    # ------------------------------------------------------------------
+    # Garbage collection driver
+    # ------------------------------------------------------------------
+
+    def _ensure_space(self) -> float:
+        """Run GC until the free pool is above the low watermark.
+
+        Returns the total GC latency incurred (the synchronous stall a
+        real device would impose on the triggering write).
+        """
+        if self.blocks.free_count > self.gc_low_blocks:
+            return 0.0
+        total = 0.0
+        while self.blocks.free_count < self.gc_high_blocks:
+            victim = self._select_victim()
+            if victim is None:
+                break
+            # A fully-valid victim yields no net space: relocating its
+            # pages consumes exactly one block's worth while freeing one.
+            # Collecting it would burn erases in a livelock; stop and let
+            # future invalidations create a worthwhile victim (unless the
+            # pool is critically empty and we must churn to stay alive).
+            if (
+                self.blocks.valid_of(victim) >= self.spec.pages_per_block
+                and self.blocks.free_count > 1
+            ):
+                break
+            total += self._collect(victim)
+        if self.blocks.free_count == 0:
+            raise OutOfSpaceError(
+                f"{self.name}: free pool empty and no GC victim available"
+            )
+        return total
+
+    def _select_victim(self) -> int | None:
+        """Ask the victim policy for the next block to reclaim."""
+        return self.victim_policy.select(
+            self.blocks, exclude=self._active_blocks(), now=float(self._op_sequence)
+        )
+
+    def _collect(self, victim: int) -> float:
+        """Reclaim one block: relocate live pages, erase, release."""
+        self.stats.gc_runs += 1
+        latency = 0.0
+        ppn_range = self.geometry.ppn_range_of_pbn(victim)
+        live = self._relocation_order(self.map.valid_ppns_in(ppn_range))
+        for ppn in live:
+            lpn = self.map.lpn_of(ppn)
+            # Copyback-style relocation: internal read + program, no bus.
+            read_us = self.device.read_ppn(ppn, include_transfer=False)
+            ctx = WriteContext(nbytes=self.spec.page_size, is_gc=True)
+            dst = self._alloc_ppn(lpn, ctx)
+            tag = self.device.tag(ppn)
+            write_us = self.device.program_ppn(dst, tag=tag, include_transfer=False)
+            self._commit_mapping(lpn, dst)
+            self._note_if_full(dst)
+            self.stats.gc_copied_pages += 1
+            self.stats.gc_read_us += read_us
+            self.stats.gc_write_us += write_us
+            latency += read_us + write_us
+            self._on_gc_copy(lpn, ppn, dst)
+        erase_us = self.device.erase_pbn(victim)
+        self.stats.erase_count += 1
+        self.stats.erase_us += erase_us
+        latency += erase_us
+        self.blocks.note_erased(victim)
+        self.victim_policy.note_block_erased(victim)
+        self._on_erase(victim)
+        self.blocks.release(victim)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+
+    def _alloc_ppn(self, lpn: int, ctx: WriteContext) -> int:
+        """Pick the PPN for the next copy of ``lpn`` (placement policy)."""
+        raise NotImplementedError
+
+    def _relocation_order(self, live_ppns: list[int]) -> list[int]:
+        """Order in which a victim's live pages are relocated.
+
+        Default: physical page order.  PPB overrides this to relocate
+        fast-page-wanting data first, so it claims fast VB space before
+        diverted slow-class copies consume it.
+        """
+        return live_ppns
+
+    def _active_blocks(self) -> set[int]:
+        """Blocks currently OPEN for writing (never GC victims)."""
+        raise NotImplementedError
+
+    # Optional policy hooks -------------------------------------------------
+
+    def _on_host_read(self, lpn: int, ppn: int) -> None:
+        """Called after each host read (hotness trackers hook here)."""
+
+    def _on_host_write(self, lpn: int, ppn: int, ctx: WriteContext) -> None:
+        """Called after each host write commit."""
+
+    def _on_gc_copy(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
+        """Called after each GC relocation."""
+
+    def _on_block_full(self, pbn: int) -> None:
+        """Called when a block's last page is programmed."""
+
+    def _on_erase(self, pbn: int) -> None:
+        """Called after a victim block is erased, before it is released."""
+
+    # ------------------------------------------------------------------
+    # Introspection / verification helpers
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Cross-check map and block accounting (test support)."""
+        self.map.check_consistency()
+        if self.blocks.total_valid() != self.map.mapped_count:
+            raise AssertionError(
+                f"valid-count total {self.blocks.total_valid()} != "
+                f"mapped LPNs {self.map.mapped_count}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name} (lpns={self.num_lpns}, blocks={self.spec.total_blocks}, "
+            f"gc_watermarks={self.gc_low_blocks}/{self.gc_high_blocks}, "
+            f"victim={self.victim_policy.name})"
+        )

@@ -1,0 +1,131 @@
+"""Physical block bookkeeping: states, valid counts, free pool.
+
+The FTL-side view of blocks complements the chip's write pointers:
+
+* ``FREE`` — erased, in the free pool;
+* ``OPEN`` — allocated to some write stream, partially programmed;
+* ``FULL`` — every page programmed; eligible as a GC victim.
+
+Valid counts are the GC currency: ``valid_count[pbn]`` is the number of
+physical pages in the block that hold the newest copy of some LPN.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+import numpy as np
+
+from repro.errors import FtlError, OutOfSpaceError
+
+
+class BlockState(enum.IntEnum):
+    """FTL-side lifecycle state of a physical block."""
+
+    FREE = 0
+    OPEN = 1
+    FULL = 2
+
+
+class BlockManager:
+    """Tracks state, valid counts and the free pool for all blocks."""
+
+    def __init__(self, num_blocks: int, pages_per_block: int) -> None:
+        if num_blocks < 2:
+            raise FtlError(f"need at least 2 blocks, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.pages_per_block = pages_per_block
+        self.state = np.full(num_blocks, int(BlockState.FREE), dtype=np.int8)
+        self.valid_count = np.zeros(num_blocks, dtype=np.int32)
+        self.free_pool: deque[int] = deque(range(num_blocks))
+
+    # ------------------------------------------------------------------
+    # Free pool
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Blocks currently in the free pool."""
+        return len(self.free_pool)
+
+    def allocate(self) -> int:
+        """Take a block from the free pool and mark it OPEN."""
+        if not self.free_pool:
+            raise OutOfSpaceError("free block pool exhausted")
+        pbn = self.free_pool.popleft()
+        self.state[pbn] = int(BlockState.OPEN)
+        return pbn
+
+    def release(self, pbn: int) -> None:
+        """Return an erased block to the free pool."""
+        self._check(pbn)
+        if self.valid_count[pbn] != 0:
+            raise FtlError(
+                f"releasing block {pbn} with {int(self.valid_count[pbn])} valid pages"
+            )
+        self.state[pbn] = int(BlockState.FREE)
+        self.free_pool.append(pbn)
+
+    # ------------------------------------------------------------------
+    # Valid-count accounting
+    # ------------------------------------------------------------------
+
+    def note_program_valid(self, pbn: int) -> None:
+        """A page holding live data was programmed into ``pbn``."""
+        self._check(pbn)
+        self.valid_count[pbn] += 1
+        if self.valid_count[pbn] > self.pages_per_block:
+            raise FtlError(f"block {pbn} valid count exceeds pages per block")
+
+    def note_invalidate(self, pbn: int) -> None:
+        """A live page in ``pbn`` was superseded or trimmed."""
+        self._check(pbn)
+        if self.valid_count[pbn] <= 0:
+            raise FtlError(f"block {pbn} valid count would go negative")
+        self.valid_count[pbn] -= 1
+
+    def note_full(self, pbn: int) -> None:
+        """The block's last page was programmed."""
+        self._check(pbn)
+        self.state[pbn] = int(BlockState.FULL)
+
+    def note_erased(self, pbn: int) -> None:
+        """The block was erased (valid count must already be zero)."""
+        self._check(pbn)
+        if self.valid_count[pbn] != 0:
+            raise FtlError(
+                f"erasing block {pbn} with {int(self.valid_count[pbn])} valid pages"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def state_of(self, pbn: int) -> BlockState:
+        """Current lifecycle state."""
+        self._check(pbn)
+        return BlockState(int(self.state[pbn]))
+
+    def valid_of(self, pbn: int) -> int:
+        """Valid page count of the block."""
+        self._check(pbn)
+        return int(self.valid_count[pbn])
+
+    def victim_candidates(self, exclude: set[int] | None = None) -> np.ndarray:
+        """PBNs eligible for GC: FULL blocks, minus an exclusion set."""
+        mask = self.state == int(BlockState.FULL)
+        candidates = np.nonzero(mask)[0]
+        if exclude:
+            candidates = np.array(
+                [int(c) for c in candidates if int(c) not in exclude], dtype=np.int64
+            )
+        return candidates
+
+    def total_valid(self) -> int:
+        """Sum of valid pages across all blocks (mapping cross-check)."""
+        return int(self.valid_count.sum())
+
+    def _check(self, pbn: int) -> None:
+        if not 0 <= pbn < self.num_blocks:
+            raise FtlError(f"PBN {pbn} out of range [0, {self.num_blocks})")

@@ -1,0 +1,76 @@
+"""The paper's baseline: a speed-oblivious page-mapping FTL.
+
+"Current FTL designs ... assume all pages have the same access speed"
+(Section 2.2).  This FTL keeps one active block that host writes and GC
+relocations share, fills it strictly in page order, and reclaims space
+with greedy (min-valid) victim selection.  It never looks at page
+position, so hot data lands on fast and slow pages uniformly — and hot
+and cold data mix freely within blocks, which is exactly the Fig. 3
+situation that motivates PPB.
+
+``separate_gc_stream=True`` upgrades the baseline with a dedicated GC
+active block (host and relocated data no longer mix).  That variant has
+an implicit age-based hot/cold separation, making it a *stronger*
+baseline than the paper's; it is kept for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.ftl.base import BaseFTL, WriteContext
+from repro.ftl.gc import VictimPolicy
+from repro.nand.device import NandDevice
+
+
+class ConventionalFTL(BaseFTL):
+    """Page-mapping FTL with greedy GC and no speed awareness."""
+
+    name = "conventional"
+
+    def __init__(
+        self,
+        device: NandDevice,
+        victim_policy: VictimPolicy | None = None,
+        gc_low_blocks: int | None = None,
+        gc_high_blocks: int | None = None,
+        separate_gc_stream: bool = False,
+    ) -> None:
+        super().__init__(device, victim_policy, gc_low_blocks, gc_high_blocks)
+        self.separate_gc_stream = separate_gc_stream
+        if separate_gc_stream:
+            self.name = "conventional-2s"
+        self._host_active: int | None = None
+        self._gc_active: int | None = None
+
+    # ------------------------------------------------------------------
+    # Placement: next free page of the stream's active block
+    # ------------------------------------------------------------------
+
+    def _alloc_ppn(self, lpn: int, ctx: WriteContext) -> int:
+        if ctx.is_gc and self.separate_gc_stream:
+            pbn = self._ensure_active("_gc_active")
+        else:
+            pbn = self._ensure_active("_host_active")
+        page = self.device.next_page(pbn)
+        return self.geometry.first_ppn_of_pbn(pbn) + page
+
+    def _ensure_active(self, attr: str) -> int:
+        """Return the stream's active block, opening a new one if needed."""
+        pbn: int | None = getattr(self, attr)
+        if pbn is None or self.device.is_block_full(pbn):
+            pbn = self.blocks.allocate()
+            setattr(self, attr, pbn)
+        return pbn
+
+    def _active_blocks(self) -> set[int]:
+        active = set()
+        if self._host_active is not None:
+            active.add(self._host_active)
+        if self._gc_active is not None:
+            active.add(self._gc_active)
+        return active
+
+    def _on_block_full(self, pbn: int) -> None:
+        if pbn == self._host_active:
+            self._host_active = None
+        if pbn == self._gc_active:
+            self._gc_active = None

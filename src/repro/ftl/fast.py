@@ -1,0 +1,331 @@
+"""FAST: a log-buffer-based hybrid FTL (Lee et al., TECS 2007).
+
+The paper cites FAST as representative of existing FTL designs that
+"assume all pages have the same access speed" (Section 2.2).  This
+implementation provides it as an additional speed-oblivious baseline.
+
+Design recap
+------------
+Logical space is divided into logical blocks (LBNs) of one physical
+block's worth of pages.  Each LBN may own a *data block*; updates do
+not touch the data block but append to shared *log blocks* with
+fully-associative page mapping (any logical page can sit anywhere in
+any log block).  Two log streams exist:
+
+* one **sequential log block** captures a purely in-order rewrite of a
+  single logical block, enabling the cheap *switch merge* (the log
+  block simply becomes the new data block);
+* **random log blocks** absorb everything else; when the pool is
+  exhausted the oldest log block is reclaimed by *full merges* of every
+  logical block with live pages in it.
+
+Reads consult the page map, which always points at the newest copy
+(data block or log).  The same :class:`~repro.ftl.mapping.PageMapTable`
+and :class:`~repro.ftl.blockinfo.BlockManager` used by the page-mapping
+FTLs back this implementation, so all invariants remain checkable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import FtlError, OutOfSpaceError
+from repro.ftl.blockinfo import BlockManager
+from repro.ftl.mapping import UNMAPPED, PageMapTable
+from repro.ftl.stats import FtlStats
+from repro.nand.device import NandDevice
+
+
+class FastFTL:
+    """Hybrid log-buffer FTL with switch / partial / full merges."""
+
+    name = "fast"
+
+    def __init__(self, device: NandDevice, num_log_blocks: int | None = None) -> None:
+        self.device = device
+        self.spec = device.spec
+        self.geometry = device.geometry
+        self.num_lpns = self.spec.logical_pages
+        pages = self.spec.pages_per_block
+        self.pages_per_block = pages
+        self.num_lbns = (self.num_lpns + pages - 1) // pages
+        self.map = PageMapTable(self.num_lpns, self.spec.total_pages)
+        self.blocks = BlockManager(self.spec.total_blocks, pages)
+        self.stats = FtlStats()
+        if num_log_blocks is None:
+            spare = self.spec.total_blocks - self.num_lbns
+            num_log_blocks = max(4, spare // 2)
+        self.num_log_blocks = num_log_blocks
+        #: LBN -> data block PBN (or -1).
+        self._data_block: dict[int, int] = {}
+        #: FIFO of *full* random log blocks awaiting merge.
+        self._log_fifo: deque[int] = deque()
+        self._active_log: int | None = None
+        #: (pbn, lbn) of the sequential log block, if one is open.
+        self._seq_log: tuple[int, int] | None = None
+        self._op_sequence = 0
+
+    # ------------------------------------------------------------------
+    # Host API (same protocol as BaseFTL)
+    # ------------------------------------------------------------------
+
+    def host_read(self, lpn: int) -> float:
+        """Service a one-page host read; returns latency in microseconds."""
+        self.map.check_lpn(lpn)
+        self._op_sequence += 1
+        ppn = self.map.ppn_of(lpn)
+        if ppn == UNMAPPED:
+            self.stats.unmapped_reads += 1
+            return 0.0
+        latency = self.device.read_ppn(ppn)
+        self.stats.host_read_pages += 1
+        self.stats.host_read_us += latency
+        return latency
+
+    def host_write(self, lpn: int, nbytes: int | None = None) -> float:
+        """Service a one-page host write; returns latency (incl. merges)."""
+        self.map.check_lpn(lpn)
+        self._op_sequence += 1
+        lbn, offset = divmod(lpn, self.pages_per_block)
+        merge_latency = 0.0
+        if offset == 0:
+            merge_latency += self._open_seq_log(lbn)
+            latency = self._append_seq(lpn)
+        elif (
+            self._seq_log is not None
+            and self._seq_log[1] == lbn
+            and self.device.next_page(self._seq_log[0]) == offset
+        ):
+            latency = self._append_seq(lpn)
+        else:
+            extra, latency = self._append_random(lpn)
+            merge_latency += extra
+        self.stats.host_write_pages += 1
+        self.stats.host_write_us += latency
+        return latency + merge_latency
+
+    def trim(self, lpn: int) -> None:
+        """Host discard."""
+        self.map.check_lpn(lpn)
+        self._op_sequence += 1
+        old = self.map.unmap(lpn)
+        if old != UNMAPPED:
+            self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old))
+            self.stats.trimmed_pages += 1
+
+    # ------------------------------------------------------------------
+    # Sequential log handling
+    # ------------------------------------------------------------------
+
+    def _open_seq_log(self, lbn: int) -> float:
+        """Start a fresh sequential log for ``lbn``.
+
+        Any previously open sequential log is completed first with a
+        partial merge (its remaining pages are filled from the newest
+        copies, then it becomes the data block).
+        """
+        latency = 0.0
+        if self._seq_log is not None:
+            latency += self._partial_merge()
+        pbn = self._allocate_block()
+        self._seq_log = (pbn, lbn)
+        return latency
+
+    def _append_seq(self, lpn: int) -> float:
+        """Program the next in-order page into the sequential log."""
+        if self._seq_log is None:
+            raise FtlError("sequential append without an open sequential log")
+        pbn, lbn = self._seq_log
+        page = self.device.next_page(pbn)
+        ppn = self.geometry.first_ppn_of_pbn(pbn) + page
+        latency = self.device.program_ppn(ppn, tag=(lpn, self._op_sequence))
+        self._commit(lpn, ppn)
+        if self.device.is_block_full(pbn):
+            self._switch_merge()
+        return latency
+
+    def _switch_merge(self) -> None:
+        """The sequential log covered a whole LBN: promote it for free."""
+        if self._seq_log is None:
+            raise FtlError("switch merge without an open sequential log")
+        pbn, lbn = self._seq_log
+        self._seq_log = None
+        self.blocks.note_full(pbn)
+        self._retire_data_block(lbn)
+        self._data_block[lbn] = pbn
+        self.stats.bump("fast.switch_merges")
+
+    def _partial_merge(self) -> float:
+        """Fill the open sequential log's tail and promote it.
+
+        Copies the newest copy of every not-yet-logged page of the LBN
+        into the log block (in ascending order, skipping never-written
+        pages), then retires the old data block.
+        """
+        if self._seq_log is None:
+            return 0.0
+        pbn, lbn = self._seq_log
+        self._seq_log = None
+        latency = 0.0
+        base_lpn = lbn * self.pages_per_block
+        start = self.device.next_page(pbn)
+        block_base = self.geometry.first_ppn_of_pbn(pbn)
+        for offset in range(start, self.pages_per_block):
+            lpn = base_lpn + offset
+            if lpn >= self.num_lpns:
+                break
+            src = self.map.ppn_of(lpn)
+            if src == UNMAPPED:
+                continue
+            if self.geometry.pbn_of_ppn(src) == pbn:
+                continue
+            latency += self._relocate(lpn, src, block_base + offset)
+        self.blocks.note_full(pbn)
+        self._retire_data_block(lbn)
+        self._data_block[lbn] = pbn
+        self.stats.bump("fast.partial_merges")
+        return latency
+
+    # ------------------------------------------------------------------
+    # Random log handling
+    # ------------------------------------------------------------------
+
+    def _append_random(self, lpn: int) -> tuple[float, float]:
+        """Append to the random log; returns (merge latency, program latency)."""
+        merge_latency = 0.0
+        if self._active_log is None or self.device.is_block_full(self._active_log):
+            if self._active_log is not None:
+                self.blocks.note_full(self._active_log)
+                self._log_fifo.append(self._active_log)
+                self._active_log = None
+            while len(self._log_fifo) >= self.num_log_blocks:
+                merge_latency += self._merge_oldest_log()
+            self._active_log = self._allocate_block()
+        pbn = self._active_log
+        page = self.device.next_page(pbn)
+        ppn = self.geometry.first_ppn_of_pbn(pbn) + page
+        latency = self.device.program_ppn(ppn, tag=(lpn, self._op_sequence))
+        self._commit(lpn, ppn)
+        return merge_latency, latency
+
+    def _merge_oldest_log(self) -> float:
+        """Full-merge every LBN with live pages in the oldest log block."""
+        victim = self._log_fifo.popleft()
+        latency = 0.0
+        ppn_range = self.geometry.ppn_range_of_pbn(victim)
+        lbns = sorted(
+            {
+                self.map.lpn_of(ppn) // self.pages_per_block
+                for ppn in self.map.valid_ppns_in(ppn_range)
+            }
+        )
+        for lbn in lbns:
+            latency += self._full_merge(lbn)
+        latency += self._erase_block(victim)
+        self.stats.bump("fast.log_merges")
+        return latency
+
+    def _full_merge(self, lbn: int) -> float:
+        """Rebuild one logical block into a fresh physical block.
+
+        If the open sequential log belongs to this LBN it is abandoned:
+        the merge supersedes every copy it holds, leaving it fully
+        invalid, so it is erased right after the merge (otherwise its
+        stale copies would keep the old data block alive forever).
+        """
+        abandoned_seq: int | None = None
+        if self._seq_log is not None and self._seq_log[1] == lbn:
+            abandoned_seq = self._seq_log[0]
+            self._seq_log = None
+            self.blocks.note_full(abandoned_seq)
+        new_pbn = self._allocate_block()
+        base_lpn = lbn * self.pages_per_block
+        block_base = self.geometry.first_ppn_of_pbn(new_pbn)
+        latency = 0.0
+        for offset in range(self.pages_per_block):
+            lpn = base_lpn + offset
+            if lpn >= self.num_lpns:
+                break
+            src = self.map.ppn_of(lpn)
+            if src == UNMAPPED:
+                continue
+            latency += self._relocate(lpn, src, block_base + offset)
+        self.blocks.note_full(new_pbn)
+        self._retire_data_block(lbn)
+        self._data_block[lbn] = new_pbn
+        if abandoned_seq is not None:
+            if self.blocks.valid_of(abandoned_seq) != 0:
+                raise FtlError(
+                    f"fast: abandoned sequential log {abandoned_seq} still has "
+                    f"{self.blocks.valid_of(abandoned_seq)} valid pages"
+                )
+            latency += self._erase_block(abandoned_seq)
+        self.stats.bump("fast.full_merges")
+        return latency
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _relocate(self, lpn: int, src_ppn: int, dst_ppn: int) -> float:
+        """Copy one live page (GC-style copyback accounting)."""
+        read_us = self.device.read_ppn(src_ppn, include_transfer=False)
+        tag = self.device.tag(src_ppn)
+        write_us = self.device.program_ppn(dst_ppn, tag=tag, include_transfer=False)
+        self._commit(lpn, dst_ppn)
+        self.stats.gc_copied_pages += 1
+        self.stats.gc_read_us += read_us
+        self.stats.gc_write_us += write_us
+        return read_us + write_us
+
+    def _commit(self, lpn: int, ppn: int) -> None:
+        pbn = self.geometry.pbn_of_ppn(ppn)
+        old = self.map.remap(lpn, ppn)
+        self.blocks.note_program_valid(pbn)
+        if old != UNMAPPED:
+            self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old))
+
+    def _retire_data_block(self, lbn: int) -> None:
+        """Erase + release the LBN's old data block (now fully invalid)."""
+        old = self._data_block.pop(lbn, None)
+        if old is None:
+            return
+        if self.blocks.valid_of(old) != 0:
+            raise FtlError(
+                f"fast: retiring data block {old} of lbn {lbn} with "
+                f"{self.blocks.valid_of(old)} valid pages"
+            )
+        self._erase_block(old)
+
+    def _erase_block(self, pbn: int) -> float:
+        latency = self.device.erase_pbn(pbn)
+        self.stats.erase_count += 1
+        self.stats.erase_us += latency
+        self.blocks.note_erased(pbn)
+        self.blocks.release(pbn)
+        return latency
+
+    def _allocate_block(self) -> int:
+        if self.blocks.free_count == 0:
+            raise OutOfSpaceError("fast: free block pool exhausted")
+        return self.blocks.allocate()
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Cross-check map and block accounting (test support)."""
+        self.map.check_consistency()
+        if self.blocks.total_valid() != self.map.mapped_count:
+            raise AssertionError(
+                f"valid-count total {self.blocks.total_valid()} != "
+                f"mapped LPNs {self.map.mapped_count}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name} (lbns={self.num_lbns}, log_blocks={self.num_log_blocks}, "
+            f"blocks={self.spec.total_blocks})"
+        )

@@ -1,0 +1,124 @@
+"""Garbage-collection victim selection policies.
+
+All policies answer one question: *which FULL block should be reclaimed
+next?*  They see the :class:`~repro.ftl.blockinfo.BlockManager` valid
+counts (and, for cost-benefit, block ages) and return a PBN or ``None``
+when no eligible victim exists.
+
+* :class:`GreedyVictimPolicy` — minimum valid pages; what the paper's
+  conventional baseline and PPB both use.
+* :class:`CostBenefitVictimPolicy` — Kawaguchi-style
+  ``benefit/cost = age * (1-u) / 2u``; provided for ablations.
+* :class:`RandomVictimPolicy` — uniform choice; a worst-case control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ftl.blockinfo import BlockManager
+
+
+class VictimPolicy:
+    """Interface: pick a GC victim among FULL blocks."""
+
+    name = "abstract"
+
+    def select(
+        self,
+        blocks: BlockManager,
+        exclude: set[int] | None = None,
+        now: float = 0.0,
+    ) -> int | None:
+        """Return the victim PBN, or None when nothing is eligible."""
+        raise NotImplementedError
+
+    def note_block_written(self, pbn: int, now: float) -> None:
+        """Hook: a block just became FULL at time ``now`` (for age policies)."""
+
+    def note_block_erased(self, pbn: int) -> None:
+        """Hook: a block was erased."""
+
+
+class GreedyVictimPolicy(VictimPolicy):
+    """Pick the FULL block with the fewest valid pages (min-copy cost)."""
+
+    name = "greedy"
+
+    def select(
+        self,
+        blocks: BlockManager,
+        exclude: set[int] | None = None,
+        now: float = 0.0,
+    ) -> int | None:
+        candidates = blocks.victim_candidates(exclude)
+        if candidates.size == 0:
+            return None
+        valid = blocks.valid_count[candidates]
+        return int(candidates[int(np.argmin(valid))])
+
+
+class CostBenefitVictimPolicy(VictimPolicy):
+    """Maximize ``age * (1 - u) / (2u)`` where u = valid fraction.
+
+    Blocks that became FULL long ago and hold little valid data are
+    preferred; fresher blocks get time for more pages to die.
+    """
+
+    name = "cost-benefit"
+
+    def __init__(self) -> None:
+        self._full_time: dict[int, float] = {}
+
+    def note_block_written(self, pbn: int, now: float) -> None:
+        self._full_time[pbn] = now
+
+    def note_block_erased(self, pbn: int) -> None:
+        self._full_time.pop(pbn, None)
+
+    def select(
+        self,
+        blocks: BlockManager,
+        exclude: set[int] | None = None,
+        now: float = 0.0,
+    ) -> int | None:
+        candidates = blocks.victim_candidates(exclude)
+        if candidates.size == 0:
+            return None
+        best_pbn: int | None = None
+        best_score = -1.0
+        pages = blocks.pages_per_block
+        for pbn in candidates:
+            pbn = int(pbn)
+            u = blocks.valid_count[pbn] / pages
+            age = max(now - self._full_time.get(pbn, 0.0), 1.0)
+            if u >= 1.0:
+                score = 0.0
+            elif u <= 0.0:
+                score = float("inf")
+            else:
+                score = age * (1.0 - u) / (2.0 * u)
+            if score > best_score:
+                best_score = score
+                best_pbn = pbn
+        return best_pbn
+
+
+class RandomVictimPolicy(VictimPolicy):
+    """Uniform random victim (control for victim-policy ablations)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def select(
+        self,
+        blocks: BlockManager,
+        exclude: set[int] | None = None,
+        now: float = 0.0,
+    ) -> int | None:
+        candidates = blocks.victim_candidates(exclude)
+        if candidates.size == 0:
+            return None
+        return int(self.rng.choice(candidates))

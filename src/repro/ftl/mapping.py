@@ -1,0 +1,131 @@
+"""Page-level logical-to-physical mapping.
+
+Backed by numpy arrays so devices with millions of pages stay cheap:
+``l2p[lpn]`` holds the PPN of the newest copy of a logical page (or -1),
+``p2l[ppn]`` holds the LPN stored at a physical page *if that copy is
+still valid* (or -1).  The two arrays are exact inverses over valid
+entries — an invariant the property-based tests assert after every
+random workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+
+#: Sentinel for "unmapped" in both directions.
+UNMAPPED = -1
+
+
+class PageMapTable:
+    """Bidirectional LPN <-> PPN map with validity tracking."""
+
+    def __init__(self, num_lpns: int, num_ppns: int) -> None:
+        if num_lpns < 1 or num_ppns < 1:
+            raise MappingError(
+                f"need positive table sizes, got lpns={num_lpns}, ppns={num_ppns}"
+            )
+        self.num_lpns = num_lpns
+        self.num_ppns = num_ppns
+        self.l2p = np.full(num_lpns, UNMAPPED, dtype=np.int64)
+        self.p2l = np.full(num_ppns, UNMAPPED, dtype=np.int64)
+        self.mapped_count = 0
+
+    # ------------------------------------------------------------------
+
+    def check_lpn(self, lpn: int) -> None:
+        """Raise :class:`MappingError` for an out-of-range LPN."""
+        if not 0 <= lpn < self.num_lpns:
+            raise MappingError(f"LPN {lpn} out of range [0, {self.num_lpns})")
+
+    def ppn_of(self, lpn: int) -> int:
+        """Current PPN of a logical page, or -1 if unmapped."""
+        self.check_lpn(lpn)
+        return int(self.l2p[lpn])
+
+    def lpn_of(self, ppn: int) -> int:
+        """LPN whose *valid* copy lives at ``ppn``, or -1."""
+        if not 0 <= ppn < self.num_ppns:
+            raise MappingError(f"PPN {ppn} out of range [0, {self.num_ppns})")
+        return int(self.p2l[ppn])
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether the logical page currently has a valid physical copy."""
+        return self.ppn_of(lpn) != UNMAPPED
+
+    def is_valid_ppn(self, ppn: int) -> bool:
+        """Whether the physical page holds the newest copy of some LPN."""
+        return self.lpn_of(ppn) != UNMAPPED
+
+    # ------------------------------------------------------------------
+
+    def remap(self, lpn: int, new_ppn: int) -> int:
+        """Point ``lpn`` at ``new_ppn``; returns the invalidated old PPN or -1.
+
+        The caller is responsible for decrementing the old block's valid
+        count (the map has no block knowledge by design).
+        """
+        self.check_lpn(lpn)
+        if not 0 <= new_ppn < self.num_ppns:
+            raise MappingError(f"PPN {new_ppn} out of range [0, {self.num_ppns})")
+        existing = int(self.p2l[new_ppn])
+        if existing != UNMAPPED:
+            raise MappingError(
+                f"PPN {new_ppn} already holds valid data for LPN {existing}"
+            )
+        old_ppn = int(self.l2p[lpn])
+        if old_ppn != UNMAPPED:
+            self.p2l[old_ppn] = UNMAPPED
+        else:
+            self.mapped_count += 1
+        self.l2p[lpn] = new_ppn
+        self.p2l[new_ppn] = lpn
+        return old_ppn
+
+    def unmap(self, lpn: int) -> int:
+        """Drop the mapping for ``lpn`` (TRIM); returns the old PPN or -1."""
+        self.check_lpn(lpn)
+        old_ppn = int(self.l2p[lpn])
+        if old_ppn != UNMAPPED:
+            self.l2p[lpn] = UNMAPPED
+            self.p2l[old_ppn] = UNMAPPED
+            self.mapped_count -= 1
+        return old_ppn
+
+    def clear_ppn(self, ppn: int) -> None:
+        """Forget the reverse entry for an erased physical page.
+
+        Used when a block is erased while still holding *invalid* data;
+        valid entries must be migrated first, so clearing a valid entry
+        is an error.
+        """
+        if self.is_valid_ppn(ppn):
+            raise MappingError(f"refusing to clear PPN {ppn}: still holds valid data")
+
+    # ------------------------------------------------------------------
+
+    def valid_ppns_in(self, ppn_range: range) -> list[int]:
+        """Valid PPNs within a range (used by GC to find live pages)."""
+        chunk = self.p2l[ppn_range.start : ppn_range.stop]
+        offsets = np.nonzero(chunk != UNMAPPED)[0]
+        return [ppn_range.start + int(o) for o in offsets]
+
+    def check_consistency(self) -> None:
+        """Assert l2p/p2l are mutual inverses (test support, O(pages))."""
+        mapped = np.nonzero(self.l2p != UNMAPPED)[0]
+        for lpn in mapped:
+            ppn = int(self.l2p[lpn])
+            if int(self.p2l[ppn]) != int(lpn):
+                raise MappingError(
+                    f"l2p[{lpn}]={ppn} but p2l[{ppn}]={int(self.p2l[ppn])}"
+                )
+        valid = np.nonzero(self.p2l != UNMAPPED)[0]
+        if len(valid) != len(mapped):
+            raise MappingError(
+                f"{len(mapped)} mapped LPNs but {len(valid)} valid PPNs"
+            )
+        if self.mapped_count != len(mapped):
+            raise MappingError(
+                f"mapped_count={self.mapped_count} but {len(mapped)} mapped LPNs"
+            )

@@ -1,0 +1,37 @@
+"""3D charge-trap NAND flash device model.
+
+This package models the storage substrate the paper evaluates on:
+
+* :mod:`repro.nand.spec` — device geometry and timing parameters
+  (Table 1 of the paper, plus scaled presets for simulation).
+* :mod:`repro.nand.geometry` — flat/structured address translation.
+* :mod:`repro.nand.physics` — the tapered-vertical-channel model that
+  produces the asymmetric feature process size across gate stack layers.
+* :mod:`repro.nand.latency` — per-page asymmetric latency profiles
+  (linear / geometric / physical / uniform).
+* :mod:`repro.nand.chip` — single chip command model enforcing NAND rules
+  (in-order programming, erase-before-write).
+* :mod:`repro.nand.device` — multi-chip device with flat page addressing.
+"""
+
+from repro.nand.spec import NandSpec, table1_spec, sim_spec, tiny_spec
+from repro.nand.geometry import Geometry
+from repro.nand.physics import TaperedChannelModel
+from repro.nand.latency import LatencyModel, LATENCY_PROFILES
+from repro.nand.chip import NandChip
+from repro.nand.device import NandDevice
+from repro.nand.stats import NandStats
+
+__all__ = [
+    "NandSpec",
+    "table1_spec",
+    "sim_spec",
+    "tiny_spec",
+    "Geometry",
+    "TaperedChannelModel",
+    "LatencyModel",
+    "LATENCY_PROFILES",
+    "NandChip",
+    "NandDevice",
+    "NandStats",
+]

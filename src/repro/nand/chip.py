@@ -1,0 +1,167 @@
+"""Single NAND chip command model.
+
+The chip enforces the two hardware rules every FTL must respect:
+
+* **Ascending-order programming** — pages of a block must be programmed
+  in ascending page order (skipping forward is allowed, going back is
+  not).  This is what forces the paper's virtual block 2n+1 to wait
+  until virtual block 2n is full.
+* **Erase-before-write** — a page can only be programmed once per
+  erase cycle; re-programming requires erasing the whole block.
+
+A per-block write pointer records the lowest page index still
+programmable; a programmed bitmap records which pages actually hold
+data (they differ only when an FTL deliberately skips pages, as FAST's
+merge path does for never-written logical pages).
+
+The chip can also store an opaque *tag* per programmed page.  The FTL
+uses this to carry the logical page number + a version token, which the
+test suite checks against an oracle to prove no data is ever lost or
+stale-served across GC.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    AddressError,
+    ProgramOrderError,
+    ReadFreePageError,
+)
+from repro.nand.latency import LatencyModel
+from repro.nand.spec import NandSpec
+from repro.nand.stats import EraseHistogram, NandStats
+
+
+class NandChip:
+    """One NAND die: blocks of pages with asymmetric per-page latency."""
+
+    def __init__(self, chip_id: int, spec: NandSpec, latency: LatencyModel | None = None) -> None:
+        self.chip_id = chip_id
+        self.spec = spec
+        self.latency = latency if latency is not None else LatencyModel(spec)
+        #: lowest page index still programmable, per block; == pages_per_block
+        #: means no page of the block can be programmed until erase.
+        self.write_ptr = np.zeros(spec.blocks_per_chip, dtype=np.int32)
+        #: which pages hold data (True between program and erase).
+        self.programmed = np.zeros(
+            (spec.blocks_per_chip, spec.pages_per_block), dtype=bool
+        )
+        #: lifetime erase count per block.
+        self.erase_counts = np.zeros(spec.blocks_per_chip, dtype=np.int64)
+        #: opaque per-page tags: block -> {page: tag}; populated lazily.
+        self._tags: dict[int, dict[int, Any]] = {}
+        self.stats = NandStats()
+        self.erase_histogram = EraseHistogram()
+
+    # ------------------------------------------------------------------
+    # Address checks
+    # ------------------------------------------------------------------
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.spec.blocks_per_chip:
+            raise AddressError(
+                f"chip {self.chip_id}: block {block} out of range "
+                f"[0, {self.spec.blocks_per_chip})"
+            )
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.spec.pages_per_block:
+            raise AddressError(
+                f"chip {self.chip_id}: page {page} out of range "
+                f"[0, {self.spec.pages_per_block})"
+            )
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def read(self, block: int, page: int, include_transfer: bool = True) -> float:
+        """Read one page; returns the latency in microseconds."""
+        self._check_block(block)
+        self._check_page(page)
+        if not self.programmed[block, page]:
+            raise ReadFreePageError(
+                f"chip {self.chip_id}: read of unprogrammed page "
+                f"(block {block}, page {page})"
+            )
+        latency = self.latency.read_us(page, include_transfer=include_transfer)
+        self.stats.record_read(latency)
+        return latency
+
+    def program(
+        self,
+        block: int,
+        page: int,
+        tag: Any = None,
+        include_transfer: bool = True,
+    ) -> float:
+        """Program one page; returns the latency in microseconds.
+
+        Raises :class:`ProgramOrderError` unless ``page`` is at or after
+        the block's write pointer (ascending order; this single check
+        also covers erase-before-write, since every page behind the
+        pointer has already been programmed or permanently skipped for
+        this erase cycle).
+        """
+        self._check_block(block)
+        self._check_page(page)
+        expected = int(self.write_ptr[block])
+        if page < expected:
+            raise ProgramOrderError(
+                f"chip {self.chip_id}: non-ascending program of block {block}: "
+                f"got page {page}, write pointer at {expected}"
+            )
+        self.write_ptr[block] = page + 1
+        self.programmed[block, page] = True
+        if tag is not None:
+            self._tags.setdefault(block, {})[page] = tag
+        latency = self.latency.program_us(page, include_transfer=include_transfer)
+        self.stats.record_program(latency)
+        return latency
+
+    def erase(self, block: int) -> float:
+        """Erase a block; returns the latency in microseconds."""
+        self._check_block(block)
+        self.write_ptr[block] = 0
+        self.programmed[block, :] = False
+        self.erase_counts[block] += 1
+        self._tags.pop(block, None)
+        latency = self.latency.erase_us()
+        self.stats.record_erase(latency)
+        self.erase_histogram.record(block)
+        return latency
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    def is_programmed(self, block: int, page: int) -> bool:
+        """Whether the page currently holds data."""
+        self._check_block(block)
+        self._check_page(page)
+        return bool(self.programmed[block, page])
+
+    def is_block_full(self, block: int) -> bool:
+        """Whether the block has no programmable pages left this cycle."""
+        self._check_block(block)
+        return int(self.write_ptr[block]) == self.spec.pages_per_block
+
+    def next_page(self, block: int) -> int:
+        """Next programmable page index of the block (== pages_per_block if full)."""
+        self._check_block(block)
+        return int(self.write_ptr[block])
+
+    def tag(self, block: int, page: int) -> Any:
+        """Tag stored when the page was programmed (None if untagged)."""
+        self._check_block(block)
+        self._check_page(page)
+        return self._tags.get(block, {}).get(page)
+
+    def erase_count(self, block: int) -> int:
+        """Lifetime erase count of the block."""
+        self._check_block(block)
+        return int(self.erase_counts[block])

@@ -1,0 +1,99 @@
+"""Multi-chip NAND device with flat page addressing.
+
+The device presents the flat PPN/PBN address space the FTLs use and
+routes commands to the owning chip.  All timing comes back as a latency
+in microseconds; the caller (FTL / SSD front end) decides how latencies
+compose (sequentially for a single queue, overlapped by the DES engine
+when channel parallelism is enabled).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nand.chip import NandChip
+from repro.nand.geometry import Geometry
+from repro.nand.latency import LatencyModel
+from repro.nand.spec import NandSpec
+from repro.nand.stats import NandStats
+
+
+class NandDevice:
+    """A set of :class:`NandChip` behind one flat address space."""
+
+    def __init__(self, spec: NandSpec) -> None:
+        self.spec = spec
+        self.geometry = Geometry(spec)
+        self.latency = LatencyModel(spec)
+        self.chips = [NandChip(i, spec, self.latency) for i in range(spec.num_chips)]
+
+    # ------------------------------------------------------------------
+    # Flat-address commands (hot path)
+    # ------------------------------------------------------------------
+
+    def read_ppn(self, ppn: int, include_transfer: bool = True) -> float:
+        """Read the page at flat address ``ppn``; returns latency (us)."""
+        chip, block, page = self.geometry.split_ppn(ppn)
+        return self.chips[chip].read(block, page, include_transfer=include_transfer)
+
+    def program_ppn(self, ppn: int, tag: Any = None, include_transfer: bool = True) -> float:
+        """Program the page at flat address ``ppn``; returns latency (us)."""
+        chip, block, page = self.geometry.split_ppn(ppn)
+        return self.chips[chip].program(block, page, tag=tag, include_transfer=include_transfer)
+
+    def erase_pbn(self, pbn: int) -> float:
+        """Erase the block at flat address ``pbn``; returns latency (us)."""
+        chip, block = self.geometry.split_pbn(pbn)
+        return self.chips[chip].erase(block)
+
+    # ------------------------------------------------------------------
+    # Flat-address queries
+    # ------------------------------------------------------------------
+
+    def is_programmed(self, ppn: int) -> bool:
+        """Whether the page at ``ppn`` currently holds data."""
+        chip, block, page = self.geometry.split_ppn(ppn)
+        return self.chips[chip].is_programmed(block, page)
+
+    def is_block_full(self, pbn: int) -> bool:
+        """Whether every page of block ``pbn`` is programmed."""
+        chip, block = self.geometry.split_pbn(pbn)
+        return self.chips[chip].is_block_full(block)
+
+    def next_page(self, pbn: int) -> int:
+        """Next programmable page index of block ``pbn``."""
+        chip, block = self.geometry.split_pbn(pbn)
+        return self.chips[chip].next_page(block)
+
+    def tag(self, ppn: int) -> Any:
+        """Tag stored at ``ppn`` when it was programmed."""
+        chip, block, page = self.geometry.split_ppn(ppn)
+        return self.chips[chip].tag(block, page)
+
+    def erase_count(self, pbn: int) -> int:
+        """Lifetime erase count of block ``pbn``."""
+        chip, block = self.geometry.split_pbn(pbn)
+        return self.chips[chip].erase_count(block)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> NandStats:
+        """Device-wide counters summed over chips."""
+        total = NandStats()
+        for chip in self.chips:
+            total = total.merge(chip.stats)
+        return total
+
+    def total_erases(self) -> int:
+        """Total block erases across the device (Fig. 18's metric)."""
+        return sum(chip.stats.erases for chip in self.chips)
+
+    def wear_spread(self) -> int:
+        """Max-min per-block erase count across the device."""
+        per_chip = [
+            chip.erase_histogram.spread(self.spec.blocks_per_chip) for chip in self.chips
+        ]
+        return max(per_chip, default=0)

@@ -1,0 +1,97 @@
+"""Flat and structured NAND address translation.
+
+The FTL layers address pages with a flat *physical page number* (PPN) and
+blocks with a flat *physical block number* (PBN).  This module converts
+between those flat numbers and the structured (chip, block, page) /
+(chip, block) coordinates the chip model uses.
+
+Layout: PPNs are block-major — all pages of PBN 0, then all pages of
+PBN 1, ... — so ``ppn // pages_per_block == pbn`` and
+``ppn % pages_per_block`` is the page index inside the block (which also
+determines the gate stack layer and therefore the access speed).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+from repro.nand.spec import NandSpec
+
+
+class Geometry:
+    """Address arithmetic for a :class:`~repro.nand.spec.NandSpec` device."""
+
+    def __init__(self, spec: NandSpec) -> None:
+        self.spec = spec
+        self.pages_per_block = spec.pages_per_block
+        self.blocks_per_chip = spec.blocks_per_chip
+        self.num_chips = spec.num_chips
+        self.total_blocks = spec.total_blocks
+        self.total_pages = spec.total_pages
+
+    # -- PPN <-> (chip, block-in-chip, page) ---------------------------
+
+    def split_ppn(self, ppn: int) -> tuple[int, int, int]:
+        """Return ``(chip, block_in_chip, page_in_block)`` for a flat PPN."""
+        self.check_ppn(ppn)
+        pbn, page = divmod(ppn, self.pages_per_block)
+        chip, block = divmod(pbn, self.blocks_per_chip)
+        return chip, block, page
+
+    def make_ppn(self, chip: int, block: int, page: int) -> int:
+        """Return the flat PPN for structured coordinates."""
+        if not 0 <= chip < self.num_chips:
+            raise AddressError(f"chip {chip} out of range [0, {self.num_chips})")
+        if not 0 <= block < self.blocks_per_chip:
+            raise AddressError(f"block {block} out of range [0, {self.blocks_per_chip})")
+        if not 0 <= page < self.pages_per_block:
+            raise AddressError(f"page {page} out of range [0, {self.pages_per_block})")
+        return (chip * self.blocks_per_chip + block) * self.pages_per_block + page
+
+    # -- PBN <-> (chip, block-in-chip) ---------------------------------
+
+    def split_pbn(self, pbn: int) -> tuple[int, int]:
+        """Return ``(chip, block_in_chip)`` for a flat PBN."""
+        self.check_pbn(pbn)
+        return divmod(pbn, self.blocks_per_chip)
+
+    def make_pbn(self, chip: int, block: int) -> int:
+        """Return the flat PBN for structured coordinates."""
+        if not 0 <= chip < self.num_chips:
+            raise AddressError(f"chip {chip} out of range [0, {self.num_chips})")
+        if not 0 <= block < self.blocks_per_chip:
+            raise AddressError(f"block {block} out of range [0, {self.blocks_per_chip})")
+        return chip * self.blocks_per_chip + block
+
+    # -- Flat helpers ---------------------------------------------------
+
+    def pbn_of_ppn(self, ppn: int) -> int:
+        """Physical block number that contains ``ppn``."""
+        self.check_ppn(ppn)
+        return ppn // self.pages_per_block
+
+    def page_of_ppn(self, ppn: int) -> int:
+        """Page index inside the block for ``ppn`` (drives access speed)."""
+        self.check_ppn(ppn)
+        return ppn % self.pages_per_block
+
+    def first_ppn_of_pbn(self, pbn: int) -> int:
+        """PPN of page 0 of the given block."""
+        self.check_pbn(pbn)
+        return pbn * self.pages_per_block
+
+    def ppn_range_of_pbn(self, pbn: int) -> range:
+        """All PPNs of a block, in programming order."""
+        start = self.first_ppn_of_pbn(pbn)
+        return range(start, start + self.pages_per_block)
+
+    # -- Validation -----------------------------------------------------
+
+    def check_ppn(self, ppn: int) -> None:
+        """Raise :class:`AddressError` if ``ppn`` is out of range."""
+        if not 0 <= ppn < self.total_pages:
+            raise AddressError(f"PPN {ppn} out of range [0, {self.total_pages})")
+
+    def check_pbn(self, pbn: int) -> None:
+        """Raise :class:`AddressError` if ``pbn`` is out of range."""
+        if not 0 <= pbn < self.total_blocks:
+            raise AddressError(f"PBN {pbn} out of range [0, {self.total_blocks})")

@@ -1,0 +1,91 @@
+"""Operation counters for the NAND device model.
+
+:class:`NandStats` accumulates both operation counts and the time spent
+in each operation class.  The FTL layers keep their own host-facing
+accounting; these counters describe what the *device* actually did,
+which is what Fig. 18 (erased block count) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NandStats:
+    """Raw device-level counters (one instance per chip, plus aggregates)."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    read_us: float = 0.0
+    program_us: float = 0.0
+    erase_us: float = 0.0
+
+    def record_read(self, latency_us: float) -> None:
+        """Account one page read."""
+        self.reads += 1
+        self.read_us += latency_us
+
+    def record_program(self, latency_us: float) -> None:
+        """Account one page program."""
+        self.programs += 1
+        self.program_us += latency_us
+
+    def record_erase(self, latency_us: float) -> None:
+        """Account one block erase."""
+        self.erases += 1
+        self.erase_us += latency_us
+
+    @property
+    def total_us(self) -> float:
+        """Total busy time across all operation classes."""
+        return self.read_us + self.program_us + self.erase_us
+
+    def merge(self, other: "NandStats") -> "NandStats":
+        """Return a new stats object summing self and ``other``."""
+        return NandStats(
+            reads=self.reads + other.reads,
+            programs=self.programs + other.programs,
+            erases=self.erases + other.erases,
+            read_us=self.read_us + other.read_us,
+            program_us=self.program_us + other.program_us,
+            erase_us=self.erase_us + other.erase_us,
+        )
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+            "read_us": self.read_us,
+            "program_us": self.program_us,
+            "erase_us": self.erase_us,
+            "total_us": self.total_us,
+        }
+
+
+@dataclass
+class EraseHistogram:
+    """Per-block erase counts, used by wear-leveling analyses."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def record(self, pbn: int) -> None:
+        """Account one erase of block ``pbn``."""
+        self.counts[pbn] = self.counts.get(pbn, 0) + 1
+
+    def max_count(self) -> int:
+        """Highest per-block erase count (0 when nothing erased)."""
+        return max(self.counts.values(), default=0)
+
+    def min_count(self, total_blocks: int) -> int:
+        """Lowest per-block erase count, counting never-erased blocks as 0."""
+        if len(self.counts) < total_blocks:
+            return 0
+        return min(self.counts.values(), default=0)
+
+    def spread(self, total_blocks: int) -> int:
+        """Wear spread: max - min erase count across the device."""
+        return self.max_count() - self.min_count(total_blocks)

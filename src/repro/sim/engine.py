@@ -1,0 +1,141 @@
+"""A small discrete-event simulation kernel.
+
+Provides the familiar process-interaction style (generators yielding
+events) on a binary-heap event calendar — the subset of simpy the SSD
+front end needs, self-contained because the evaluation environment has
+no network access for dependencies.
+
+Example
+-------
+>>> engine = Engine()
+>>> log = []
+>>> def worker(name, delay):
+...     yield engine.timeout(delay)
+...     log.append((engine.now, name))
+>>> _ = engine.process(worker("a", 5.0))
+>>> _ = engine.process(worker("b", 2.0))
+>>> engine.run()
+>>> log
+[(2.0, 'b'), (5.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator
+
+from repro.errors import ReproError
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven incorrectly."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now; waiting processes resume this instant."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.engine._schedule(0.0, self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        super().__init__(engine)
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.triggered = True
+        self.value = value
+        engine._schedule(delay, self)
+
+
+class Process(Event):
+    """A running generator; itself an event that triggers on completion."""
+
+    def __init__(self, engine: "Engine", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(engine)
+        self.generator = generator
+        self._start = Timeout(engine, 0.0)
+        self._start.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self.generator.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.triggered = True
+                self.value = stop.value
+                self.engine._schedule(0.0, self)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        target.callbacks.append(self._resume)
+
+
+class Engine:
+    """Event calendar + clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A bare event to be succeeded manually."""
+        return Event(self)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator of events."""
+        return Process(self, generator)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Dispatch events until the calendar drains or ``until`` is reached."""
+        while self._heap:
+            time, _, event = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = time
+            for callback in list(event.callbacks):
+                callback(event)
+            event.callbacks.clear()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def peek(self) -> float | None:
+        """Time of the next scheduled event, or None if idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def __iter__(self) -> Iterator[float]:
+        """Step-wise execution: yields the clock after each event batch."""
+        while self._heap:
+            self.run(until=self._heap[0][0])
+            yield self.now

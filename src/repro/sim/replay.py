@@ -1,0 +1,66 @@
+"""One-call trace replay: build device + FTL + SSD, fill, run.
+
+This is the function every experiment, example and benchmark funnels
+through, so each figure is a thin parameterization of the same code
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import PPBConfig
+from repro.core.ppb_ftl import PPBFTL
+from repro.errors import ConfigError
+from repro.ftl.conventional import ConventionalFTL
+from repro.ftl.fast import FastFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import NandSpec
+from repro.sim.ssd import SSD, RunResult
+from repro.traces.record import Trace
+
+#: Registered FTL factories; each takes a NandDevice.
+FTL_FACTORIES: dict[str, Callable[[NandDevice], object]] = {
+    "conventional": ConventionalFTL,
+    "fast": FastFTL,
+    "ppb": PPBFTL,
+}
+
+
+def make_ftl(kind: str, device: NandDevice, ppb_config: PPBConfig | None = None):
+    """Instantiate an FTL by name ("conventional", "fast", "ppb")."""
+    if kind == "ppb":
+        return PPBFTL(device, config=ppb_config)
+    try:
+        factory = FTL_FACTORIES[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown FTL {kind!r}; choose from {sorted(FTL_FACTORIES)}"
+        ) from None
+    return factory(device)
+
+
+def replay_trace(
+    trace: Trace,
+    spec: NandSpec,
+    ftl_kind: str = "conventional",
+    ppb_config: PPBConfig | None = None,
+    warm_fill_fraction: float = 0.9,
+    mode: str = "sequential",
+) -> RunResult:
+    """Replay a trace on a fresh device; returns the aggregate result.
+
+    The trace is first fitted to the device's logical capacity (offsets
+    wrap), then the device is aged by a sequential warm fill so garbage
+    collection is active from the start — matching how trace-driven
+    flash studies precondition devices.
+    """
+    device = NandDevice(spec)
+    ftl = make_ftl(ftl_kind, device, ppb_config)
+    ssd = SSD(ftl, spec.page_size)
+    fitted = trace.fit_to(ssd.capacity_bytes)
+    if warm_fill_fraction > 0:
+        ssd.warm_fill(warm_fill_fraction)
+    result = ssd.replay(fitted, mode=mode)
+    result.ftl = ftl  # type: ignore[attr-defined]  # exposed for reports
+    return result

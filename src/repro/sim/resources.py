@@ -1,0 +1,48 @@
+"""FCFS resources for the DES kernel.
+
+:class:`Resource` models a unit (or pool) that processes must hold
+while using — the SSD front end uses one to serialize access to the
+flash back end per channel when replaying with queueing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class Resource:
+    """A counted resource with first-come-first-served queueing."""
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    def request(self) -> Event:
+        """An event that triggers when the resource is granted."""
+        event = self.engine.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; wakes the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release without a matching request")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        """Processes waiting for the resource."""
+        return len(self._waiters)

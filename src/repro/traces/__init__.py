@@ -1,0 +1,45 @@
+"""Trace infrastructure: I/O records, MSR Cambridge parsing, synthesis.
+
+The paper replays two MSR Cambridge enterprise traces ("media server"
+and "web/SQL server").  Those traces are not redistributable, so this
+package provides both:
+
+* :mod:`repro.traces.msr` — a parser/writer for the genuine MSRC CSV
+  format, so the real traces drop in unchanged when available; and
+* :mod:`repro.traces.workloads` — seeded synthetic generators that
+  reproduce the published characteristics of those workloads (request
+  size mix, read/write ratio, sequentiality, and re-access skew — the
+  properties PPB's gain actually depends on).
+"""
+
+from repro.traces.record import IORequest, OpType, Trace
+from repro.traces.msr import read_msr_csv, write_msr_csv
+from repro.traces.synthetic import (
+    ScrambledZipfian,
+    UniformSampler,
+    ZipfianGenerator,
+)
+from repro.traces.workloads import (
+    MediaServerWorkload,
+    WebSqlWorkload,
+    SyntheticWorkload,
+    UniformWorkload,
+)
+from repro.traces.stats import TraceStats, characterize
+
+__all__ = [
+    "IORequest",
+    "OpType",
+    "Trace",
+    "read_msr_csv",
+    "write_msr_csv",
+    "ZipfianGenerator",
+    "ScrambledZipfian",
+    "UniformSampler",
+    "SyntheticWorkload",
+    "MediaServerWorkload",
+    "WebSqlWorkload",
+    "UniformWorkload",
+    "TraceStats",
+    "characterize",
+]

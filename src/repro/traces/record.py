@@ -1,0 +1,163 @@
+"""I/O request records and trace containers.
+
+A trace is an ordered list of byte-addressed read/write requests.  The
+SSD front end (:mod:`repro.sim.ssd`) splits each request into logical
+pages at replay time, so one trace can be replayed against devices with
+different page sizes — exactly what Fig. 12/15 of the paper need (the
+same trace on 8 KB and 16 KB pages).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+
+
+class OpType(enum.Enum):
+    """Request direction."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def parse(cls, text: str) -> "OpType":
+        """Parse common spellings: R/W, Read/Write, case-insensitive."""
+        norm = text.strip().lower()
+        if norm in ("r", "read", "rd", "0"):
+            return cls.READ
+        if norm in ("w", "write", "wr", "1"):
+            return cls.WRITE
+        raise TraceError(f"unrecognized op type {text!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class IORequest:
+    """One host request: direction, byte offset, byte length, arrival time."""
+
+    op: OpType
+    offset: int
+    size: int
+    timestamp_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise TraceError(f"negative offset {self.offset}")
+        if self.size <= 0:
+            raise TraceError(f"non-positive size {self.size}")
+
+    @property
+    def is_read(self) -> bool:
+        """True for reads."""
+        return self.op is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        """True for writes."""
+        return self.op is OpType.WRITE
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last byte touched."""
+        return self.offset + self.size
+
+    def pages(self, page_size: int) -> range:
+        """Logical page numbers this request touches for a given page size."""
+        first = self.offset // page_size
+        last = (self.end_offset - 1) // page_size
+        return range(first, last + 1)
+
+
+class Trace:
+    """An ordered, named sequence of :class:`IORequest`."""
+
+    def __init__(self, requests: Iterable[IORequest], name: str = "trace") -> None:
+        self.requests: list[IORequest] = list(requests)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> IORequest:
+        return self.requests[index]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def read_count(self) -> int:
+        """Number of read requests."""
+        return sum(1 for r in self.requests if r.is_read)
+
+    @property
+    def write_count(self) -> int:
+        """Number of write requests."""
+        return len(self.requests) - self.read_count
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of requests that are reads (0.0 for an empty trace)."""
+        if not self.requests:
+            return 0.0
+        return self.read_count / len(self.requests)
+
+    def footprint_bytes(self) -> int:
+        """Highest byte offset touched plus one (0 for an empty trace)."""
+        return max((r.end_offset for r in self.requests), default=0)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes read."""
+        return sum(r.size for r in self.requests if r.is_read)
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes written."""
+        return sum(r.size for r in self.requests if r.is_write)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def fit_to(self, capacity_bytes: int, align: int = 4096) -> "Trace":
+        """Wrap request offsets into ``capacity_bytes`` of logical space.
+
+        Used when replaying a trace whose footprint exceeds the simulated
+        device: offsets wrap modulo the capacity (aligned down), sizes
+        are clamped so requests never cross the end of the device.  This
+        mirrors how trace-driven flash simulators shrink MSRC traces.
+        """
+        if capacity_bytes <= 0:
+            raise TraceError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        fitted: list[IORequest] = []
+        for req in self.requests:
+            offset = (req.offset % capacity_bytes) // align * align
+            size = min(req.size, capacity_bytes - offset)
+            if size <= 0:
+                continue
+            fitted.append(IORequest(req.op, offset, size, req.timestamp_us))
+        return Trace(fitted, name=f"{self.name}[fit {capacity_bytes // 2**20}MiB]")
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` requests as a new trace."""
+        return Trace(self.requests[:n], name=f"{self.name}[:{n}]")
+
+    def reads_only(self) -> "Trace":
+        """New trace containing only the read requests."""
+        return Trace([r for r in self.requests if r.is_read], name=f"{self.name}[reads]")
+
+    def writes_only(self) -> "Trace":
+        """New trace containing only the write requests."""
+        return Trace([r for r in self.requests if r.is_write], name=f"{self.name}[writes]")
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, n={len(self.requests)}, "
+            f"reads={self.read_count}, writes={self.write_count})"
+        )

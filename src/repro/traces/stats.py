@@ -1,0 +1,97 @@
+"""Trace characterization.
+
+Summarizes the properties that matter to the PPB strategy: read/write
+mix, request size distribution relative to the page size (the paper's
+first-stage size-check), footprint, and re-access skew (what fraction
+of reads the hottest pages absorb).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.traces.record import Trace
+
+
+@dataclass
+class TraceStats:
+    """Aggregate description of a trace at a given page size."""
+
+    name: str
+    page_size: int
+    num_requests: int = 0
+    num_reads: int = 0
+    num_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    footprint_bytes: int = 0
+    unique_pages: int = 0
+    small_write_requests: int = 0  # size < page_size (paper's "hot" bucket)
+    read_page_ops: int = 0
+    write_page_ops: int = 0
+    #: fraction of read page-ops hitting the hottest 1% / 10% / 20% of pages.
+    read_skew: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of requests that are reads."""
+        if not self.num_requests:
+            return 0.0
+        return self.num_reads / self.num_requests
+
+    @property
+    def small_write_fraction(self) -> float:
+        """Fraction of writes the size-check identifier calls hot."""
+        if not self.num_writes:
+            return 0.0
+        return self.small_write_requests / self.num_writes
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"trace                {self.name}",
+            f"requests             {self.num_requests} "
+            f"({self.num_reads} R / {self.num_writes} W, "
+            f"{self.read_fraction * 100:.1f}% reads)",
+            f"volume               {self.bytes_read / 2**20:.1f} MiB read, "
+            f"{self.bytes_written / 2**20:.1f} MiB written",
+            f"footprint            {self.footprint_bytes / 2**20:.1f} MiB, "
+            f"{self.unique_pages} unique {self.page_size // 1024} KiB pages",
+            f"small writes         {self.small_write_fraction * 100:.1f}% "
+            f"(< page size; first-stage hot)",
+        ]
+        for key, value in sorted(self.read_skew.items()):
+            lines.append(f"reads to top {key:<4}    {value * 100:.1f}%")
+        return "\n".join(lines)
+
+
+def characterize(trace: Trace, page_size: int = 16 * 1024) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace at a page size."""
+    stats = TraceStats(name=trace.name, page_size=page_size)
+    read_counts: Counter[int] = Counter()
+    touched: set[int] = set()
+    for req in trace:
+        stats.num_requests += 1
+        pages = req.pages(page_size)
+        touched.update(pages)
+        if req.is_read:
+            stats.num_reads += 1
+            stats.bytes_read += req.size
+            stats.read_page_ops += len(pages)
+            read_counts.update(pages)
+        else:
+            stats.num_writes += 1
+            stats.bytes_written += req.size
+            stats.write_page_ops += len(pages)
+            if req.size < page_size:
+                stats.small_write_requests += 1
+    stats.footprint_bytes = trace.footprint_bytes()
+    stats.unique_pages = len(touched)
+    if read_counts and stats.read_page_ops:
+        ordered = sorted(read_counts.values(), reverse=True)
+        total = stats.read_page_ops
+        for label, frac in (("1%", 0.01), ("10%", 0.10), ("20%", 0.20)):
+            k = max(1, int(len(ordered) * frac))
+            stats.read_skew[label] = sum(ordered[:k]) / total
+    return stats

@@ -1,0 +1,121 @@
+"""Low-level samplers used by the synthetic workload generators.
+
+The key primitive is the bounded Zipfian generator (Gray et al.'s
+algorithm, the same one YCSB uses): rank 0 is the most popular item and
+popularity falls as ``1 / rank**theta``.  :class:`ScrambledZipfian`
+hashes the rank so the popular items are spread across the whole item
+space instead of clustering at low addresses — matching how hot files
+and hot database pages are scattered across a real volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: FNV-1a 64-bit constants, used to scramble Zipfian ranks.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 little-endian bytes."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & _MASK64
+        value >>= 8
+    return h
+
+
+class ZipfianGenerator:
+    """Bounded Zipfian sampler over ranks ``0 .. n-1`` (0 most popular).
+
+    Implements the constant-time rejection-free method of Gray et al.
+    ("Quickly generating billion-record synthetic databases"), with the
+    zeta constant computed once at construction (O(n), acceptable for
+    the item counts used here).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: np.random.Generator | None = None):
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        if not 0.0 < theta < 1.0:
+            raise ConfigError(f"theta must be in (0, 1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng if rng is not None else np.random.default_rng()
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        self._zetan = float(np.sum(ranks ** -theta))
+        self._zeta2 = 1.0 + 2.0 ** -theta if n >= 2 else self._zetan
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan) \
+            if n >= 2 else 1.0
+
+    def next(self) -> int:
+        """Sample one rank."""
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1 if self.n >= 2 else 0
+        rank = int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self.n - 1)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Sample ``count`` ranks as an array."""
+        return np.fromiter((self.next() for _ in range(count)), dtype=np.int64, count=count)
+
+
+class ScrambledZipfian:
+    """Zipfian sampler whose popular items are scattered over the space.
+
+    Ranks from :class:`ZipfianGenerator` are pushed through FNV-1a and
+    reduced modulo ``n``, so item popularity still follows the Zipf law
+    but hot items do not cluster at low indices.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: np.random.Generator | None = None):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, rng)
+
+    def next(self) -> int:
+        """Sample one item index."""
+        return fnv1a_64(self._zipf.next()) % self.n
+
+    def sample(self, count: int) -> np.ndarray:
+        """Sample ``count`` item indices as an array."""
+        return np.fromiter((self.next() for _ in range(count)), dtype=np.int64, count=count)
+
+
+class UniformSampler:
+    """Uniform sampler over ``0 .. n-1`` with the same interface."""
+
+    def __init__(self, n: int, rng: np.random.Generator | None = None):
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def next(self) -> int:
+        """Sample one item index."""
+        return int(self.rng.integers(0, self.n))
+
+    def sample(self, count: int) -> np.ndarray:
+        """Sample ``count`` item indices as an array."""
+        return self.rng.integers(0, self.n, size=count, dtype=np.int64)
+
+
+def choose_weighted(rng: np.random.Generator, weights: dict[str, float]) -> str:
+    """Pick a key with probability proportional to its weight."""
+    if not weights:
+        raise ConfigError("weights must be non-empty")
+    keys = list(weights)
+    values = np.array([weights[k] for k in keys], dtype=np.float64)
+    if np.any(values < 0) or values.sum() <= 0:
+        raise ConfigError(f"weights must be non-negative and sum > 0, got {weights}")
+    values = values / values.sum()
+    return keys[int(rng.choice(len(keys), p=values))]

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nand.device import NandDevice
+from repro.nand.spec import NandSpec, tiny_spec
+
+
+@pytest.fixture
+def spec() -> NandSpec:
+    """A miniature device spec (64 blocks of 16 x 2 KiB pages)."""
+    return tiny_spec()
+
+@pytest.fixture
+def device(spec: NandSpec) -> NandDevice:
+    """A fresh miniature device."""
+    return NandDevice(spec)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for stochastic tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,109 @@
+"""Tests for the cold area's access-frequency table (paper Fig. 11a)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.freqtable import AccessFrequencyTable
+from repro.core.hotness import HotnessLevel
+from repro.errors import ConfigError
+
+
+class TestClassification:
+    def test_untracked_is_icy(self):
+        table = AccessFrequencyTable(capacity=8)
+        assert table.level_of(1) is HotnessLevel.ICY_COLD
+
+    def test_fresh_write_is_icy(self):
+        table = AccessFrequencyTable(capacity=8)
+        table.on_write(1)
+        assert table.level_of(1) is HotnessLevel.ICY_COLD
+
+    def test_read_promotes_to_cold(self):
+        table = AccessFrequencyTable(capacity=8, promote_reads=1)
+        table.on_write(1)
+        assert table.on_read(1) is True
+        assert table.level_of(1) is HotnessLevel.COLD
+
+    def test_higher_threshold(self):
+        table = AccessFrequencyTable(capacity=8, promote_reads=3)
+        table.on_write(1)
+        assert table.on_read(1) is False
+        assert table.on_read(1) is False
+        assert table.on_read(1) is True
+        assert table.level_of(1) is HotnessLevel.COLD
+
+    def test_update_demotes_cold_to_icy(self):
+        # cold data that gets rewritten is no longer write-once (Fig. 11b)
+        table = AccessFrequencyTable(capacity=8, promote_reads=1)
+        table.on_write(1)
+        table.on_read(1)
+        table.on_write(1)
+        assert table.level_of(1) is HotnessLevel.ICY_COLD
+
+
+class TestCapacityAndAging:
+    def test_capacity_bounded(self):
+        table = AccessFrequencyTable(capacity=4, aging_period=0)
+        for lpn in range(50):
+            table.on_write(lpn)
+        assert len(table) <= 4
+        assert table.evictions > 0
+
+    def test_eviction_prefers_low_counts(self):
+        table = AccessFrequencyTable(capacity=4, aging_period=0)
+        table.on_write(0)
+        for _ in range(5):
+            table.on_read(0)  # high count, should survive
+        for lpn in range(1, 10):
+            table.on_write(lpn)
+        assert 0 in table
+
+    def test_aging_halves_counts(self):
+        table = AccessFrequencyTable(capacity=8, promote_reads=2, aging_period=5)
+        table.on_write(1)
+        table.on_read(1)
+        table.on_read(1)  # count 2 -> COLD
+        assert table.level_of(1) is HotnessLevel.COLD
+        for _ in range(5):
+            table.on_write(2)  # tick the ager
+        assert table.agings >= 1
+        assert table.count_of(1) <= 1  # halved
+        assert table.level_of(1) is HotnessLevel.ICY_COLD
+
+    def test_aging_disabled(self):
+        table = AccessFrequencyTable(capacity=8, aging_period=0)
+        for _ in range(100):
+            table.on_write(1)
+        assert table.agings == 0
+
+    def test_drop(self):
+        table = AccessFrequencyTable(capacity=8)
+        table.on_write(1)
+        table.drop(1)
+        assert 1 not in table
+        table.drop(1)  # idempotent
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [{"capacity": 0}, {"promote_reads": 0}])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            AccessFrequencyTable(**{"capacity": 8, **kwargs})
+
+
+class TestBoundedInvariant:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 40), st.booleans()), min_size=1, max_size=400
+        )
+    )
+    @settings(max_examples=75)
+    def test_never_exceeds_capacity(self, ops):
+        table = AccessFrequencyTable(capacity=10, aging_period=50)
+        for lpn, is_read in ops:
+            if is_read:
+                table.on_read(lpn)
+            else:
+                table.on_write(lpn)
+            assert len(table) <= 10 + 1  # transiently one over before eviction
+        assert len(table) <= 10

@@ -1,0 +1,53 @@
+"""Tests for the four-level hotness semantics (paper Section 3.2)."""
+
+from repro.core.hotness import Area, HotnessLevel, fast_level_of, slow_level_of
+
+
+class TestAreas:
+    def test_hot_levels_live_in_hot_blocks(self):
+        assert HotnessLevel.IRON_HOT.area is Area.HOT
+        assert HotnessLevel.HOT.area is Area.HOT
+
+    def test_cold_levels_live_in_cold_blocks(self):
+        assert HotnessLevel.COLD.area is Area.COLD
+        assert HotnessLevel.ICY_COLD.area is Area.COLD
+
+    def test_no_level_mixes_areas(self):
+        # every level maps to exactly one area -> GC never sees mixed blocks
+        for level in HotnessLevel:
+            assert level.area in (Area.HOT, Area.COLD)
+
+
+class TestSpeedAssignment:
+    def test_frequently_read_levels_want_fast_pages(self):
+        assert HotnessLevel.IRON_HOT.wants_fast_pages
+        assert HotnessLevel.COLD.wants_fast_pages
+
+    def test_rarely_read_levels_take_slow_pages(self):
+        assert not HotnessLevel.HOT.wants_fast_pages
+        assert not HotnessLevel.ICY_COLD.wants_fast_pages
+
+    def test_fast_slow_level_helpers(self):
+        assert fast_level_of(Area.HOT) is HotnessLevel.IRON_HOT
+        assert slow_level_of(Area.HOT) is HotnessLevel.HOT
+        assert fast_level_of(Area.COLD) is HotnessLevel.COLD
+        assert slow_level_of(Area.COLD) is HotnessLevel.ICY_COLD
+
+    def test_each_area_has_one_fast_one_slow_level(self):
+        for area in Area:
+            fast = fast_level_of(area)
+            slow = slow_level_of(area)
+            assert fast.wants_fast_pages and not slow.wants_fast_pages
+            assert fast.area is area and slow.area is area
+
+    def test_labels(self):
+        assert HotnessLevel.IRON_HOT.label == "iron-hot"
+        assert HotnessLevel.ICY_COLD.label == "icy-cold"
+
+    def test_ordering_coldest_first(self):
+        assert (
+            HotnessLevel.ICY_COLD
+            < HotnessLevel.COLD
+            < HotnessLevel.HOT
+            < HotnessLevel.IRON_HOT
+        )

@@ -1,0 +1,89 @@
+"""Tests for block state and valid-count accounting."""
+
+import pytest
+
+from repro.errors import FtlError, OutOfSpaceError
+from repro.ftl.blockinfo import BlockManager, BlockState
+
+
+@pytest.fixture
+def blocks() -> BlockManager:
+    return BlockManager(num_blocks=8, pages_per_block=4)
+
+
+class TestFreePool:
+    def test_all_free_initially(self, blocks):
+        assert blocks.free_count == 8
+        assert all(blocks.state_of(b) is BlockState.FREE for b in range(8))
+
+    def test_allocate_opens(self, blocks):
+        pbn = blocks.allocate()
+        assert blocks.state_of(pbn) is BlockState.OPEN
+        assert blocks.free_count == 7
+
+    def test_exhaustion_raises(self, blocks):
+        for _ in range(8):
+            blocks.allocate()
+        with pytest.raises(OutOfSpaceError):
+            blocks.allocate()
+
+    def test_release_returns_to_pool(self, blocks):
+        pbn = blocks.allocate()
+        blocks.release(pbn)
+        assert blocks.free_count == 8
+        assert blocks.state_of(pbn) is BlockState.FREE
+
+    def test_release_with_valid_pages_rejected(self, blocks):
+        pbn = blocks.allocate()
+        blocks.note_program_valid(pbn)
+        with pytest.raises(FtlError):
+            blocks.release(pbn)
+
+
+class TestValidCounts:
+    def test_program_and_invalidate(self, blocks):
+        pbn = blocks.allocate()
+        blocks.note_program_valid(pbn)
+        blocks.note_program_valid(pbn)
+        assert blocks.valid_of(pbn) == 2
+        blocks.note_invalidate(pbn)
+        assert blocks.valid_of(pbn) == 1
+
+    def test_overflow_rejected(self, blocks):
+        pbn = blocks.allocate()
+        for _ in range(4):
+            blocks.note_program_valid(pbn)
+        with pytest.raises(FtlError):
+            blocks.note_program_valid(pbn)
+
+    def test_underflow_rejected(self, blocks):
+        pbn = blocks.allocate()
+        with pytest.raises(FtlError):
+            blocks.note_invalidate(pbn)
+
+    def test_total_valid(self, blocks):
+        a, b = blocks.allocate(), blocks.allocate()
+        blocks.note_program_valid(a)
+        blocks.note_program_valid(b)
+        blocks.note_program_valid(b)
+        assert blocks.total_valid() == 3
+
+
+class TestVictimCandidates:
+    def test_only_full_blocks(self, blocks):
+        a = blocks.allocate()
+        b = blocks.allocate()
+        blocks.note_full(a)
+        candidates = blocks.victim_candidates()
+        assert list(candidates) == [a]
+
+    def test_exclusion(self, blocks):
+        a = blocks.allocate()
+        blocks.note_full(a)
+        assert blocks.victim_candidates(exclude={a}).size == 0
+
+    def test_erase_requires_zero_valid(self, blocks):
+        a = blocks.allocate()
+        blocks.note_program_valid(a)
+        with pytest.raises(FtlError):
+            blocks.note_erased(a)

@@ -1,0 +1,141 @@
+"""Tests for the conventional page-mapping baseline, including the
+dict-model oracle that proves GC never loses or stales data."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.ftl.conventional import ConventionalFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+
+
+@pytest.fixture
+def ftl() -> ConventionalFTL:
+    return ConventionalFTL(NandDevice(tiny_spec()))
+
+
+class TestBasicIO:
+    def test_write_then_read(self, ftl):
+        write_latency = ftl.host_write(0)
+        read_latency = ftl.host_read(0)
+        assert write_latency > 0
+        assert read_latency > 0
+        assert ftl.stats.host_write_pages == 1
+        assert ftl.stats.host_read_pages == 1
+
+    def test_unmapped_read_is_free(self, ftl):
+        assert ftl.host_read(5) == 0.0
+        assert ftl.stats.unmapped_reads == 1
+        assert ftl.stats.host_read_pages == 0
+
+    def test_overwrite_invalidates_old(self, ftl):
+        ftl.host_write(0)
+        first_ppn = ftl.map.ppn_of(0)
+        ftl.host_write(0)
+        assert ftl.map.ppn_of(0) != first_ppn
+        assert not ftl.map.is_valid_ppn(first_ppn)
+
+    def test_out_of_range_lpn(self, ftl):
+        with pytest.raises(MappingError):
+            ftl.host_write(ftl.num_lpns)
+
+    def test_trim(self, ftl):
+        ftl.host_write(0)
+        ftl.trim(0)
+        assert not ftl.map.is_mapped(0)
+        assert ftl.stats.trimmed_pages == 1
+        assert ftl.host_read(0) == 0.0
+
+    def test_sequential_fill_no_gc(self, ftl):
+        for lpn in range(ftl.num_lpns // 2):
+            ftl.host_write(lpn)
+        assert ftl.stats.erase_count == 0
+        ftl.check_invariants()
+
+
+class TestGarbageCollection:
+    def test_gc_triggers_under_churn(self, ftl):
+        rng = np.random.default_rng(0)
+        for _ in range(ftl.num_lpns * 4):
+            ftl.host_write(int(rng.integers(0, ftl.num_lpns)))
+        assert ftl.stats.erase_count > 0
+        assert ftl.stats.gc_copied_pages >= 0
+        ftl.check_invariants()
+
+    def test_free_pool_never_exhausted(self, ftl):
+        rng = np.random.default_rng(1)
+        for _ in range(ftl.num_lpns * 6):
+            ftl.host_write(int(rng.integers(0, ftl.num_lpns)))
+            assert ftl.blocks.free_count > 0
+
+    def test_write_amplification_reasonable(self, ftl):
+        rng = np.random.default_rng(2)
+        for _ in range(ftl.num_lpns * 4):
+            ftl.host_write(int(rng.integers(0, ftl.num_lpns)))
+        assert 1.0 <= ftl.stats.write_amplification < 30.0
+
+    def test_gc_latency_returned_to_triggering_write(self, ftl):
+        rng = np.random.default_rng(3)
+        saw_stall = False
+        for _ in range(ftl.num_lpns * 4):
+            latency = ftl.host_write(int(rng.integers(0, ftl.num_lpns)))
+            if latency > ftl.device.latency.program_us(0) * 2:
+                saw_stall = True
+        assert saw_stall
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_no_data_loss_under_churn(self, seed):
+        ftl = ConventionalFTL(NandDevice(tiny_spec()))
+        rng = np.random.default_rng(seed)
+        oracle: dict[int, int] = {}
+        for _ in range(15_000):
+            lpn = int(rng.integers(0, ftl.num_lpns))
+            if rng.random() < 0.6:
+                ftl.host_write(lpn)
+                oracle[lpn] = ftl._op_sequence
+            elif lpn in oracle:
+                ftl.host_read(lpn)
+        ftl.check_invariants()
+        for lpn, seq in oracle.items():
+            ppn = ftl.map.ppn_of(lpn)
+            assert ftl.device.tag(ppn) == (lpn, seq), f"stale data for lpn {lpn}"
+
+    def test_trim_interleaved_with_churn(self):
+        ftl = ConventionalFTL(NandDevice(tiny_spec()))
+        rng = np.random.default_rng(11)
+        oracle: dict[int, int] = {}
+        for _ in range(10_000):
+            lpn = int(rng.integers(0, ftl.num_lpns))
+            r = rng.random()
+            if r < 0.5:
+                ftl.host_write(lpn)
+                oracle[lpn] = ftl._op_sequence
+            elif r < 0.6:
+                ftl.trim(lpn)
+                oracle.pop(lpn, None)
+            elif lpn in oracle:
+                ftl.host_read(lpn)
+        ftl.check_invariants()
+        for lpn, seq in oracle.items():
+            assert ftl.device.tag(ftl.map.ppn_of(lpn)) == (lpn, seq)
+
+
+class TestTwoStreamVariant:
+    def test_separate_gc_stream_also_safe(self):
+        ftl = ConventionalFTL(NandDevice(tiny_spec()), separate_gc_stream=True)
+        rng = np.random.default_rng(5)
+        oracle: dict[int, int] = {}
+        for _ in range(12_000):
+            lpn = int(rng.integers(0, ftl.num_lpns))
+            if rng.random() < 0.6:
+                ftl.host_write(lpn)
+                oracle[lpn] = ftl._op_sequence
+            elif lpn in oracle:
+                ftl.host_read(lpn)
+        ftl.check_invariants()
+        for lpn, seq in oracle.items():
+            assert ftl.device.tag(ftl.map.ppn_of(lpn)) == (lpn, seq)
+        assert ftl.name == "conventional-2s"

@@ -1,0 +1,99 @@
+"""Tests for the FAST hybrid log-buffer FTL."""
+
+import numpy as np
+import pytest
+
+from repro.ftl.fast import FastFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+
+
+@pytest.fixture
+def ftl() -> FastFTL:
+    return FastFTL(NandDevice(tiny_spec()))
+
+
+class TestBasicIO:
+    def test_write_read_round_trip(self, ftl):
+        ftl.host_write(5)
+        assert ftl.host_read(5) > 0
+
+    def test_unmapped_read_free(self, ftl):
+        assert ftl.host_read(3) == 0.0
+
+    def test_trim(self, ftl):
+        ftl.host_write(5)
+        ftl.trim(5)
+        assert ftl.host_read(5) == 0.0
+
+
+class TestMergeKinds:
+    def test_switch_merge_on_pure_sequential_rewrite(self, ftl):
+        pages = ftl.pages_per_block
+        # Prime the logical block with a first pass.
+        for off in range(pages):
+            ftl.host_write(off)
+        # Rewrite the whole logical block strictly in order -> switch merge.
+        before = ftl.stats.extra.get("fast.switch_merges", 0)
+        for off in range(pages):
+            ftl.host_write(off)
+        assert ftl.stats.extra.get("fast.switch_merges", 0) > before
+
+    def test_full_merges_triggered_by_random_churn(self, ftl):
+        rng = np.random.default_rng(0)
+        for _ in range(8000):
+            # avoid offset 0 so the sequential log stays out of the way
+            lpn = int(rng.integers(0, ftl.num_lpns))
+            if lpn % ftl.pages_per_block == 0:
+                lpn += 1
+            ftl.host_write(lpn)
+        assert ftl.stats.extra.get("fast.full_merges", 0) > 0
+        assert ftl.stats.extra.get("fast.log_merges", 0) > 0
+        ftl.check_invariants()
+
+    def test_partial_merge_on_abandoned_sequential_run(self, ftl):
+        pages = ftl.pages_per_block
+        for off in range(pages // 2):  # half a sequential run on lbn 0
+            ftl.host_write(off)
+        before = ftl.stats.extra.get("fast.partial_merges", 0)
+        ftl.host_write(pages)  # offset 0 of lbn 1 -> new seq log
+        assert ftl.stats.extra.get("fast.partial_merges", 0) == before + 1
+        ftl.check_invariants()
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_mixed_sequential_random_churn(self, seed):
+        spec = tiny_spec()
+        ftl = FastFTL(NandDevice(spec))
+        rng = np.random.default_rng(seed)
+        oracle: dict[int, int] = {}
+        for _ in range(12_000):
+            r = rng.random()
+            if r < 0.15:
+                lbn = int(rng.integers(0, ftl.num_lbns))
+                run = int(rng.integers(1, spec.pages_per_block + 1))
+                for off in range(run):
+                    lpn = lbn * spec.pages_per_block + off
+                    if lpn >= ftl.num_lpns:
+                        break
+                    ftl.host_write(lpn)
+                    oracle[lpn] = ftl._op_sequence
+            elif r < 0.6:
+                lpn = int(rng.integers(0, ftl.num_lpns))
+                ftl.host_write(lpn)
+                oracle[lpn] = ftl._op_sequence
+            else:
+                lpn = int(rng.integers(0, ftl.num_lpns))
+                if lpn in oracle:
+                    ftl.host_read(lpn)
+        ftl.check_invariants()
+        for lpn, seq in oracle.items():
+            assert ftl.device.tag(ftl.map.ppn_of(lpn)) == (lpn, seq)
+
+    def test_free_pool_survives(self, ftl):
+        rng = np.random.default_rng(4)
+        for _ in range(10_000):
+            ftl.host_write(int(rng.integers(0, ftl.num_lpns)))
+            assert ftl.blocks.free_count >= 0
+        ftl.check_invariants()

@@ -1,0 +1,69 @@
+"""Tests for GC victim selection policies."""
+
+import pytest
+
+from repro.ftl.blockinfo import BlockManager
+from repro.ftl.gc import (
+    CostBenefitVictimPolicy,
+    GreedyVictimPolicy,
+    RandomVictimPolicy,
+)
+
+
+def _manager_with_full_blocks(valid_counts: dict[int, int]) -> BlockManager:
+    blocks = BlockManager(num_blocks=8, pages_per_block=10)
+    for pbn, valid in valid_counts.items():
+        allocated = blocks.allocate()
+        assert allocated == pbn
+        for _ in range(valid):
+            blocks.note_program_valid(pbn)
+        blocks.note_full(pbn)
+    return blocks
+
+
+class TestGreedy:
+    def test_picks_min_valid(self):
+        blocks = _manager_with_full_blocks({0: 5, 1: 2, 2: 9})
+        assert GreedyVictimPolicy().select(blocks) == 1
+
+    def test_respects_exclusion(self):
+        blocks = _manager_with_full_blocks({0: 5, 1: 2, 2: 9})
+        assert GreedyVictimPolicy().select(blocks, exclude={1}) == 0
+
+    def test_none_when_no_candidates(self):
+        blocks = BlockManager(num_blocks=4, pages_per_block=4)
+        assert GreedyVictimPolicy().select(blocks) is None
+
+
+class TestCostBenefit:
+    def test_prefers_old_and_empty(self):
+        blocks = _manager_with_full_blocks({0: 5, 1: 5})
+        policy = CostBenefitVictimPolicy()
+        policy.note_block_written(0, now=0.0)
+        policy.note_block_written(1, now=90.0)
+        assert policy.select(blocks, now=100.0) == 0
+
+    def test_empty_block_always_wins(self):
+        blocks = _manager_with_full_blocks({0: 0, 1: 1})
+        policy = CostBenefitVictimPolicy()
+        policy.note_block_written(0, now=50.0)
+        policy.note_block_written(1, now=0.0)
+        assert policy.select(blocks, now=100.0) == 0
+
+    def test_forgets_erased_blocks(self):
+        policy = CostBenefitVictimPolicy()
+        policy.note_block_written(0, now=1.0)
+        policy.note_block_erased(0)
+        assert 0 not in policy._full_time
+
+
+class TestRandom:
+    def test_selection_is_among_candidates(self):
+        blocks = _manager_with_full_blocks({0: 1, 1: 1, 2: 1})
+        policy = RandomVictimPolicy(seed=3)
+        for _ in range(20):
+            assert policy.select(blocks) in (0, 1, 2)
+
+    def test_none_when_empty(self):
+        blocks = BlockManager(num_blocks=4, pages_per_block=4)
+        assert RandomVictimPolicy().select(blocks) is None

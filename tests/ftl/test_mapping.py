@@ -1,0 +1,103 @@
+"""Tests for the bidirectional page map."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.ftl.mapping import UNMAPPED, PageMapTable
+
+
+@pytest.fixture
+def table() -> PageMapTable:
+    return PageMapTable(num_lpns=32, num_ppns=64)
+
+
+class TestBasicMapping:
+    def test_starts_unmapped(self, table):
+        assert table.ppn_of(0) == UNMAPPED
+        assert table.lpn_of(0) == UNMAPPED
+        assert not table.is_mapped(0)
+
+    def test_remap_establishes_both_directions(self, table):
+        old = table.remap(3, 10)
+        assert old == UNMAPPED
+        assert table.ppn_of(3) == 10
+        assert table.lpn_of(10) == 3
+        assert table.mapped_count == 1
+
+    def test_remap_returns_and_invalidates_old(self, table):
+        table.remap(3, 10)
+        old = table.remap(3, 11)
+        assert old == 10
+        assert table.lpn_of(10) == UNMAPPED
+        assert table.ppn_of(3) == 11
+        assert table.mapped_count == 1
+
+    def test_remap_to_occupied_ppn_rejected(self, table):
+        table.remap(1, 5)
+        with pytest.raises(MappingError):
+            table.remap(2, 5)
+
+    def test_unmap(self, table):
+        table.remap(1, 5)
+        assert table.unmap(1) == 5
+        assert not table.is_mapped(1)
+        assert table.mapped_count == 0
+
+    def test_unmap_unmapped_is_noop(self, table):
+        assert table.unmap(1) == UNMAPPED
+
+    def test_range_checks(self, table):
+        with pytest.raises(MappingError):
+            table.ppn_of(32)
+        with pytest.raises(MappingError):
+            table.lpn_of(64)
+        with pytest.raises(MappingError):
+            table.remap(0, 64)
+
+
+class TestBulkQueries:
+    def test_valid_ppns_in_range(self, table):
+        table.remap(0, 3)
+        table.remap(1, 7)
+        table.remap(2, 20)
+        assert table.valid_ppns_in(range(0, 16)) == [3, 7]
+
+    def test_clear_valid_ppn_rejected(self, table):
+        table.remap(0, 3)
+        with pytest.raises(MappingError):
+            table.clear_ppn(3)
+
+
+class TestConsistency:
+    def test_check_passes_after_random_ops(self):
+        table = PageMapTable(64, 128)
+        import random
+
+        rng = random.Random(42)
+        next_ppn = 0
+        for _ in range(300):
+            lpn = rng.randrange(64)
+            if rng.random() < 0.8 and next_ppn < 128:
+                table.remap(lpn, next_ppn)
+                next_ppn += 1
+            else:
+                table.unmap(lpn)
+        table.check_consistency()
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.booleans()), min_size=0, max_size=60
+        )
+    )
+    @settings(max_examples=100)
+    def test_mapped_count_always_matches(self, ops):
+        table = PageMapTable(16, 128)
+        next_ppn = 0
+        for lpn, write in ops:
+            if write and next_ppn < 128:
+                table.remap(lpn, next_ppn)
+                next_ppn += 1
+            else:
+                table.unmap(lpn)
+        table.check_consistency()

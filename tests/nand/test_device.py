@@ -1,0 +1,60 @@
+"""Tests for the multi-chip device facade."""
+
+import pytest
+
+from repro.errors import ProgramOrderError
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+
+
+class TestFlatAddressing:
+    def test_program_read_first_page(self, device):
+        device.program_ppn(0, tag="a")
+        assert device.read_ppn(0) > 0
+        assert device.tag(0) == "a"
+
+    def test_cross_chip_routing(self):
+        device = NandDevice(tiny_spec(num_chips=2))
+        second_chip_ppn = device.geometry.make_ppn(1, 0, 0)
+        device.program_ppn(second_chip_ppn)
+        assert device.chips[1].stats.programs == 1
+        assert device.chips[0].stats.programs == 0
+
+    def test_block_fill_and_full(self, device):
+        pbn = 3
+        for ppn in device.geometry.ppn_range_of_pbn(pbn):
+            device.program_ppn(ppn)
+        assert device.is_block_full(pbn)
+        assert device.next_page(pbn) == device.spec.pages_per_block
+
+    def test_erase_by_pbn(self, device):
+        device.program_ppn(0)
+        device.erase_pbn(0)
+        assert not device.is_programmed(0)
+        assert device.erase_count(0) == 1
+
+    def test_order_enforced_through_facade(self, device):
+        device.program_ppn(1 * device.spec.pages_per_block + 0)
+        with pytest.raises(ProgramOrderError):
+            device.program_ppn(1 * device.spec.pages_per_block + 0)
+
+
+class TestAggregates:
+    def test_stats_sum_over_chips(self):
+        device = NandDevice(tiny_spec(num_chips=2))
+        device.program_ppn(device.geometry.make_ppn(0, 0, 0))
+        device.program_ppn(device.geometry.make_ppn(1, 0, 0))
+        assert device.stats.programs == 2
+
+    def test_total_erases(self, device):
+        device.erase_pbn(0)
+        device.erase_pbn(1)
+        device.erase_pbn(0)
+        assert device.total_erases() == 3
+
+    def test_wear_spread(self, device):
+        assert device.wear_spread() == 0
+        device.erase_pbn(0)
+        device.erase_pbn(0)
+        device.erase_pbn(0)
+        assert device.wear_spread() == 3

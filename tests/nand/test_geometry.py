@@ -1,0 +1,84 @@
+"""Tests for flat/structured address translation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError
+from repro.nand.geometry import Geometry
+from repro.nand.spec import tiny_spec
+
+
+@pytest.fixture
+def geometry() -> Geometry:
+    return Geometry(tiny_spec(num_chips=2))
+
+
+class TestPpnRoundTrip:
+    def test_first_ppn(self, geometry):
+        assert geometry.split_ppn(0) == (0, 0, 0)
+
+    def test_last_ppn(self, geometry):
+        last = geometry.total_pages - 1
+        chip, block, page = geometry.split_ppn(last)
+        assert chip == geometry.num_chips - 1
+        assert block == geometry.blocks_per_chip - 1
+        assert page == geometry.pages_per_block - 1
+
+    def test_make_then_split(self, geometry):
+        ppn = geometry.make_ppn(1, 3, 7)
+        assert geometry.split_ppn(ppn) == (1, 3, 7)
+
+    @given(ppn=st.integers(min_value=0, max_value=2 * 64 * 16 - 1))
+    @settings(max_examples=200)
+    def test_round_trip_everywhere(self, ppn):
+        geometry = Geometry(tiny_spec(num_chips=2))
+        chip, block, page = geometry.split_ppn(ppn)
+        assert geometry.make_ppn(chip, block, page) == ppn
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.split_ppn(geometry.total_pages)
+        with pytest.raises(AddressError):
+            geometry.split_ppn(-1)
+
+
+class TestPbnRoundTrip:
+    def test_make_then_split(self, geometry):
+        pbn = geometry.make_pbn(1, 5)
+        assert geometry.split_pbn(pbn) == (1, 5)
+
+    @given(pbn=st.integers(min_value=0, max_value=2 * 64 - 1))
+    @settings(max_examples=100)
+    def test_round_trip_everywhere(self, pbn):
+        geometry = Geometry(tiny_spec(num_chips=2))
+        chip, block = geometry.split_pbn(pbn)
+        assert geometry.make_pbn(chip, block) == pbn
+
+    def test_bad_coordinates_rejected(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.make_pbn(2, 0)
+        with pytest.raises(AddressError):
+            geometry.make_pbn(0, 64)
+
+
+class TestBlockPageRelations:
+    def test_pbn_of_ppn_consistent(self, geometry):
+        for ppn in (0, 15, 16, 17, geometry.total_pages - 1):
+            pbn = geometry.pbn_of_ppn(ppn)
+            assert ppn in geometry.ppn_range_of_pbn(pbn)
+
+    def test_page_of_ppn(self, geometry):
+        assert geometry.page_of_ppn(0) == 0
+        assert geometry.page_of_ppn(16) == 0
+        assert geometry.page_of_ppn(17) == 1
+
+    def test_ppn_range_length(self, geometry):
+        assert len(geometry.ppn_range_of_pbn(0)) == geometry.pages_per_block
+
+    def test_ppn_ranges_partition_space(self, geometry):
+        seen = set()
+        for pbn in range(geometry.total_blocks):
+            for ppn in geometry.ppn_range_of_pbn(pbn):
+                assert ppn not in seen
+                seen.add(ppn)
+        assert len(seen) == geometry.total_pages

@@ -1,0 +1,56 @@
+"""Tests for device counters and the erase histogram."""
+
+from repro.nand.stats import EraseHistogram, NandStats
+
+
+class TestNandStats:
+    def test_record_and_totals(self):
+        stats = NandStats()
+        stats.record_read(10.0)
+        stats.record_program(100.0)
+        stats.record_erase(1000.0)
+        assert stats.reads == 1
+        assert stats.programs == 1
+        assert stats.erases == 1
+        assert stats.total_us == 1110.0
+
+    def test_merge(self):
+        a = NandStats(reads=1, read_us=5.0)
+        b = NandStats(reads=2, read_us=7.0, erases=1, erase_us=4.0)
+        merged = a.merge(b)
+        assert merged.reads == 3
+        assert merged.read_us == 12.0
+        assert merged.erases == 1
+        # merge does not mutate inputs
+        assert a.reads == 1 and b.reads == 2
+
+    def test_snapshot_keys(self):
+        snap = NandStats().snapshot()
+        assert {"reads", "programs", "erases", "total_us"} <= set(snap)
+
+
+class TestEraseHistogram:
+    def test_record_counts(self):
+        hist = EraseHistogram()
+        hist.record(0)
+        hist.record(0)
+        hist.record(5)
+        assert hist.counts == {0: 2, 5: 1}
+
+    def test_max_min_spread(self):
+        hist = EraseHistogram()
+        assert hist.max_count() == 0
+        assert hist.spread(total_blocks=4) == 0
+        hist.record(0)
+        hist.record(0)
+        # blocks 1..3 never erased -> min is 0
+        assert hist.min_count(total_blocks=4) == 0
+        assert hist.spread(total_blocks=4) == 2
+
+    def test_min_when_all_touched(self):
+        hist = EraseHistogram()
+        for pbn in range(4):
+            hist.record(pbn)
+        hist.record(0)
+        assert hist.min_count(total_blocks=4) == 1
+        assert hist.spread(total_blocks=4) == 1

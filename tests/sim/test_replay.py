@@ -1,0 +1,62 @@
+"""Tests for the one-call trace replay helper."""
+
+import pytest
+
+from repro.core.config import PPBConfig
+from repro.errors import ConfigError
+from repro.nand.spec import tiny_spec
+from repro.sim.replay import make_ftl, replay_trace
+from repro.nand.device import NandDevice
+from repro.traces.workloads import UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return UniformWorkload(
+        num_requests=3000, footprint_bytes=64 * 2**20, request_bytes=2048
+    ).generate()
+
+
+class TestMakeFtl:
+    def test_all_kinds(self):
+        device = NandDevice(tiny_spec())
+        assert make_ftl("conventional", device).name == "conventional"
+        device = NandDevice(tiny_spec())
+        assert make_ftl("fast", device).name == "fast"
+        device = NandDevice(tiny_spec())
+        assert make_ftl("ppb", device).name == "ppb"
+
+    def test_ppb_config_passed_through(self):
+        device = NandDevice(tiny_spec())
+        ftl = make_ftl("ppb", device, PPBConfig(vb_split=4))
+        assert ftl.config.vb_split == 4
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_ftl("bogus", NandDevice(tiny_spec()))
+
+
+class TestReplayTrace:
+    @pytest.mark.parametrize("kind", ["conventional", "fast", "ppb"])
+    def test_end_to_end(self, small_trace, kind):
+        result = replay_trace(small_trace, tiny_spec(), ftl_kind=kind)
+        assert result.num_requests == len(small_trace)
+        assert result.read_us >= 0
+        assert result.write_us > 0
+
+    def test_warm_fill_ages_device(self, small_trace):
+        aged = replay_trace(
+            small_trace, tiny_spec(), "conventional", warm_fill_fraction=0.9
+        )
+        fresh = replay_trace(
+            small_trace, tiny_spec(), "conventional", warm_fill_fraction=0.0
+        )
+        # the aged device has to garbage collect more
+        assert aged.erase_count >= fresh.erase_count
+
+    def test_deterministic(self, small_trace):
+        a = replay_trace(small_trace, tiny_spec(), "ppb")
+        b = replay_trace(small_trace, tiny_spec(), "ppb")
+        assert a.read_us == b.read_us
+        assert a.write_us == b.write_us
+        assert a.erase_count == b.erase_count

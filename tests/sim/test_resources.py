@@ -1,0 +1,85 @@
+"""Tests for FCFS resources."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.resources import Resource
+
+
+class TestResource:
+    def test_grant_when_free(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        grants = []
+
+        def worker():
+            yield resource.request()
+            grants.append(engine.now)
+            resource.release()
+
+        engine.process(worker())
+        engine.run()
+        assert grants == [0.0]
+
+    def test_serializes_contenders(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield resource.request()
+            start = engine.now
+            yield engine.timeout(hold)
+            resource.release()
+            log.append((name, start, engine.now))
+
+        engine.process(worker("a", 5.0))
+        engine.process(worker("b", 3.0))
+        engine.run()
+        assert log == [("a", 0.0, 5.0), ("b", 5.0, 8.0)]
+
+    def test_capacity_two_overlaps(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        log = []
+
+        def worker(name):
+            yield resource.request()
+            yield engine.timeout(4.0)
+            resource.release()
+            log.append((name, engine.now))
+
+        for name in ("a", "b", "c"):
+            engine.process(worker(name))
+        engine.run()
+        assert log == [("a", 4.0), ("b", 4.0), ("c", 8.0)]
+
+    def test_queue_length(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def holder():
+            yield resource.request()
+            yield engine.timeout(10.0)
+            resource.release()
+
+        def waiter():
+            yield resource.request()
+            resource.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run(until=5.0)
+        assert resource.queue_length == 1
+        engine.run()
+        assert resource.queue_length == 0
+
+    def test_release_without_request_rejected(self):
+        engine = Engine()
+        resource = Resource(engine)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Engine(), capacity=0)

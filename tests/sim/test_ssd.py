@@ -1,0 +1,117 @@
+"""Tests for the SSD front end (request splitting, replay modes)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ftl.conventional import ConventionalFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.sim.ssd import SSD
+from repro.traces.record import IORequest, OpType, Trace
+
+
+@pytest.fixture
+def ssd() -> SSD:
+    spec = tiny_spec()
+    return SSD(ConventionalFTL(NandDevice(spec)), spec.page_size)
+
+
+class TestRequestSplitting:
+    def test_single_page_write(self, ssd):
+        latency = ssd.service(IORequest(OpType.WRITE, 0, 512))
+        assert latency > 0
+        assert ssd.ftl.stats.host_write_pages == 1
+
+    def test_multi_page_write(self, ssd):
+        page = ssd.page_size
+        ssd.service(IORequest(OpType.WRITE, 0, 3 * page))
+        assert ssd.ftl.stats.host_write_pages == 3
+
+    def test_unaligned_request_touches_extra_page(self, ssd):
+        page = ssd.page_size
+        ssd.service(IORequest(OpType.WRITE, page // 2, page))
+        assert ssd.ftl.stats.host_write_pages == 2
+
+    def test_read_after_write(self, ssd):
+        page = ssd.page_size
+        ssd.service(IORequest(OpType.WRITE, 0, 2 * page))
+        latency = ssd.service(IORequest(OpType.READ, 0, 2 * page))
+        assert latency > 0
+        assert ssd.ftl.stats.host_read_pages == 2
+
+    def test_request_beyond_capacity_clipped(self, ssd):
+        end = ssd.capacity_bytes
+        ssd.service(IORequest(OpType.WRITE, end - ssd.page_size, 4 * ssd.page_size))
+        assert ssd.ftl.stats.host_write_pages == 1
+
+
+class TestSequentialReplay:
+    def _trace(self, page):
+        return Trace(
+            [
+                IORequest(OpType.WRITE, 0, 2 * page, 0.0),
+                IORequest(OpType.READ, 0, page, 100.0),
+                IORequest(OpType.WRITE, 4 * page, page, 200.0),
+            ],
+            name="mini",
+        )
+
+    def test_aggregates(self, ssd):
+        result = ssd.replay(self._trace(ssd.page_size))
+        assert result.num_requests == 3
+        assert result.read_requests == 1
+        assert result.write_requests == 2
+        assert result.read_us > 0
+        assert result.write_us > 0
+
+    def test_summary_text(self, ssd):
+        result = ssd.replay(self._trace(ssd.page_size))
+        assert "conventional" in result.summary()
+
+    def test_unknown_mode_rejected(self, ssd):
+        with pytest.raises(ConfigError):
+            ssd.replay(self._trace(ssd.page_size), mode="warp")
+
+
+class TestTimedReplay:
+    def test_response_times_include_queueing(self, ssd):
+        page = ssd.page_size
+        # Two writes arriving simultaneously: the second queues.
+        trace = Trace(
+            [
+                IORequest(OpType.WRITE, 0, page, 0.0),
+                IORequest(OpType.WRITE, page, page, 0.0),
+            ]
+        )
+        result = ssd.replay(trace, mode="timed")
+        assert len(result.response_times_us) == 2
+        assert result.response_times_us[1] > result.response_times_us[0]
+
+    def test_spread_arrivals_do_not_queue(self, ssd):
+        page = ssd.page_size
+        trace = Trace(
+            [
+                IORequest(OpType.WRITE, 0, page, 0.0),
+                IORequest(OpType.WRITE, page, page, 1e9),
+            ]
+        )
+        result = ssd.replay(trace, mode="timed")
+        assert result.response_times_us[0] == pytest.approx(
+            result.response_times_us[1], rel=0.01
+        )
+
+
+class TestWarmFill:
+    def test_fill_maps_everything_and_resets_stats(self, ssd):
+        ssd.warm_fill(1.0)
+        assert ssd.ftl.map.mapped_count == ssd.ftl.num_lpns
+        assert ssd.ftl.stats.host_write_pages == 0  # stats reset
+        assert ssd.ftl.device.stats.programs == 0
+
+    def test_partial_fill(self, ssd):
+        ssd.warm_fill(0.5)
+        assert ssd.ftl.map.mapped_count == ssd.ftl.num_lpns // 2
+
+    def test_bad_fraction_rejected(self, ssd):
+        with pytest.raises(ConfigError):
+            ssd.warm_fill(1.5)

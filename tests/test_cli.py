@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSpec:
+    def test_spec_prints_table1(self, capsys):
+        assert main(["spec"]) == 0
+        out = capsys.readouterr().out
+        assert "64.00 GiB" in out
+        assert "384" in out
+
+
+class TestCharacterize:
+    def test_synthetic(self, capsys):
+        assert main(["characterize", "--workload", "uniform", "--requests", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+
+    def test_msr_csv(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        path.write_text("0,h,0,Read,0,4096,0\n10,h,0,Write,4096,4096,0\n")
+        assert main(["characterize", "--msr-csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2" in out
+
+
+class TestRun:
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload",
+                "uniform",
+                "--ftl",
+                "ppb",
+                "--requests",
+                "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "erased blocks" in out
+        assert "fast-half reads" in out
+
+    def test_run_conventional(self, capsys):
+        code = main(
+            ["run", "--workload", "uniform", "--ftl", "conventional",
+             "--requests", "1000"]
+        )
+        assert code == 0
+
+
+class TestFigure:
+    def test_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])

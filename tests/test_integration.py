@@ -1,0 +1,111 @@
+"""Cross-module integration tests: whole-stack behaviour checks.
+
+These are the paper's qualitative results at miniature scale:
+
+* PPB beats the conventional FTL on reads for skewed workloads;
+* PPB gains nothing on a symmetric (uniform-latency) device;
+* PPB gains nothing on an unskewed workload;
+* write (program) latency is unchanged;
+* all of it deterministic for fixed seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiment import BenchScale, Cell, ExperimentRunner
+
+#: miniature scale so the whole module runs in seconds.
+MICRO = BenchScale("micro", num_requests=12_000, blocks_per_chip=128)
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+class TestPaperHeadline:
+    def test_ppb_improves_reads_on_web_workload(self, runner):
+        cell = Cell(workload="web-sql", speed_ratio=4.0, scale=MICRO)
+        base, ppb = runner.compare(cell)
+        assert ppb.read_us < base.read_us
+
+    def test_ppb_improves_reads_on_media_workload(self, runner):
+        cell = Cell(workload="media-server", speed_ratio=4.0, scale=MICRO)
+        base, ppb = runner.compare(cell)
+        assert ppb.read_us < base.read_us
+
+    def test_write_latency_essentially_unchanged(self, runner):
+        cell = Cell(workload="web-sql", speed_ratio=4.0, scale=MICRO)
+        base, ppb = runner.compare(cell)
+        delta = abs(ppb.host_write_us - base.host_write_us) / base.host_write_us
+        assert delta < 0.005
+
+    def test_erases_not_excessive(self, runner):
+        cell = Cell(workload="web-sql", speed_ratio=4.0, scale=MICRO)
+        base, ppb = runner.compare(cell)
+        assert ppb.erase_count <= base.erase_count * 1.5
+
+    def test_gain_grows_with_speed_ratio(self, runner):
+        gains = []
+        for ratio in (2.0, 5.0):
+            cell = Cell(workload="web-sql", speed_ratio=ratio, scale=MICRO)
+            base, ppb = runner.compare(cell)
+            gains.append((base.read_us - ppb.read_us) / base.read_us)
+        assert gains[1] > gains[0]
+
+
+class TestNullControls:
+    def test_no_gain_on_symmetric_device(self, runner):
+        """On a uniform-latency device PPB has nothing to exploit."""
+        cell = Cell(
+            workload="web-sql",
+            speed_ratio=4.0,
+            latency_profile="uniform",
+            scale=MICRO,
+        )
+        base, ppb = runner.compare(cell)
+        gain = (base.read_us - ppb.read_us) / base.read_us
+        assert abs(gain) < 0.01
+
+    def test_little_gain_on_unskewed_workload(self, runner):
+        cell = Cell(workload="uniform", speed_ratio=4.0, scale=MICRO)
+        base, ppb = runner.compare(cell)
+        gain = (base.read_us - ppb.read_us) / base.read_us
+        # uniform traffic has no hot data to place; allow small noise
+        assert gain < 0.05
+
+
+class TestDeterminism:
+    def test_cells_are_reproducible(self):
+        cell = Cell(workload="web-sql", speed_ratio=3.0, scale=MICRO)
+        a = ExperimentRunner().run(cell)
+        b = ExperimentRunner().run(cell)
+        assert a.read_us == b.read_us
+        assert a.host_write_us == b.host_write_us
+        assert a.erase_count == b.erase_count
+
+    def test_runner_caches(self, runner):
+        cell = Cell(workload="web-sql", speed_ratio=4.0, scale=MICRO)
+        first = runner.run(cell)
+        second = runner.run(cell)
+        assert first is second
+
+    def test_trace_shared_across_ftls(self, runner):
+        cell = Cell(workload="web-sql", speed_ratio=4.0, scale=MICRO)
+        trace_a = runner.trace_for(cell.with_(ftl="conventional"))
+        trace_b = runner.trace_for(cell.with_(ftl="ppb"))
+        assert trace_a is trace_b
+
+
+class TestProfileSensitivity:
+    @pytest.mark.parametrize("profile", ["linear", "geometric", "physical"])
+    def test_ppb_wins_under_every_asymmetric_profile(self, runner, profile):
+        cell = Cell(
+            workload="web-sql",
+            speed_ratio=4.0,
+            latency_profile=profile,
+            scale=MICRO,
+        )
+        base, ppb = runner.compare(cell)
+        assert ppb.read_us < base.read_us

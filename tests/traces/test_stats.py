@@ -1,0 +1,59 @@
+"""Tests for trace characterization."""
+
+import pytest
+
+from repro.traces.record import IORequest, OpType, Trace
+from repro.traces.stats import characterize
+
+
+def _make_trace():
+    return Trace(
+        [
+            IORequest(OpType.WRITE, 0, 4096),          # small write (hot)
+            IORequest(OpType.WRITE, 16384, 32768),     # large write (cold)
+            IORequest(OpType.READ, 0, 4096),
+            IORequest(OpType.READ, 0, 4096),
+            IORequest(OpType.READ, 16384, 16384),
+        ],
+        name="mini",
+    )
+
+
+class TestCharacterize:
+    def test_counts(self):
+        stats = characterize(_make_trace(), page_size=16384)
+        assert stats.num_requests == 5
+        assert stats.num_reads == 3
+        assert stats.num_writes == 2
+        assert stats.read_fraction == pytest.approx(0.6)
+
+    def test_byte_volumes(self):
+        stats = characterize(_make_trace(), page_size=16384)
+        assert stats.bytes_written == 4096 + 32768
+        assert stats.bytes_read == 4096 + 4096 + 16384
+
+    def test_small_write_fraction(self):
+        stats = characterize(_make_trace(), page_size=16384)
+        assert stats.small_write_fraction == pytest.approx(0.5)
+
+    def test_unique_pages(self):
+        stats = characterize(_make_trace(), page_size=16384)
+        # pages touched: write 0 -> page0; write 16384x32768 -> pages 1,2;
+        # reads hit pages 0 and 1.
+        assert stats.unique_pages == 3
+
+    def test_read_skew_sums_to_one_for_single_page(self):
+        trace = Trace([IORequest(OpType.READ, 0, 512)] * 10)
+        stats = characterize(trace, page_size=4096)
+        assert stats.read_skew["1%"] == pytest.approx(1.0)
+
+    def test_describe_is_printable(self):
+        text = characterize(_make_trace()).describe()
+        assert "requests" in text
+        assert "small writes" in text
+
+    def test_empty_trace(self):
+        stats = characterize(Trace([]), page_size=4096)
+        assert stats.num_requests == 0
+        assert stats.read_fraction == 0.0
+        assert stats.small_write_fraction == 0.0

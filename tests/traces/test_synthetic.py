@@ -1,0 +1,114 @@
+"""Tests for the Zipfian and uniform samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.traces.synthetic import (
+    ScrambledZipfian,
+    UniformSampler,
+    ZipfianGenerator,
+    choose_weighted,
+    fnv1a_64,
+)
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(100, 0.99, np.random.default_rng(0))
+        samples = gen.sample(2000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, 0.99, np.random.default_rng(0))
+        samples = gen.sample(20000)
+        counts = np.bincount(samples, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_skew_increases_with_theta(self):
+        low = ZipfianGenerator(1000, 0.5, np.random.default_rng(1)).sample(10000)
+        high = ZipfianGenerator(1000, 0.99, np.random.default_rng(1)).sample(10000)
+        top_low = np.mean(low < 10)
+        top_high = np.mean(high < 10)
+        assert top_high > top_low
+
+    def test_deterministic_for_seed(self):
+        a = ZipfianGenerator(100, 0.9, np.random.default_rng(7)).sample(100)
+        b = ZipfianGenerator(100, 0.9, np.random.default_rng(7)).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_single_item(self):
+        gen = ZipfianGenerator(1, 0.9, np.random.default_rng(0))
+        assert all(gen.next() == 0 for _ in range(50))
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_bad_n(self, bad):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(bad)
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0, 1.5])
+    def test_rejects_bad_theta(self, theta):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(10, theta)
+
+
+class TestScrambledZipfian:
+    def test_range(self):
+        gen = ScrambledZipfian(500, 0.99, np.random.default_rng(0))
+        samples = gen.sample(5000)
+        assert samples.min() >= 0
+        assert samples.max() < 500
+
+    def test_hot_items_not_clustered_at_low_indices(self):
+        gen = ScrambledZipfian(1000, 0.99, np.random.default_rng(2))
+        samples = gen.sample(20000)
+        counts = np.bincount(samples, minlength=1000)
+        hottest = int(np.argmax(counts))
+        assert hottest > 10  # scrambling moved rank 0 away from index 0
+
+    def test_still_skewed(self):
+        gen = ScrambledZipfian(1000, 0.99, np.random.default_rng(3))
+        samples = gen.sample(20000)
+        counts = np.sort(np.bincount(samples, minlength=1000))[::-1]
+        assert counts[:10].sum() > 0.2 * len(samples)
+
+
+class TestUniformSampler:
+    def test_range_and_spread(self):
+        gen = UniformSampler(50, np.random.default_rng(0))
+        samples = gen.sample(5000)
+        assert samples.min() >= 0 and samples.max() < 50
+        counts = np.bincount(samples, minlength=50)
+        assert counts.min() > 0  # every slot hit eventually
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigError):
+            UniformSampler(0)
+
+
+class TestHelpers:
+    @given(value=st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=100)
+    def test_fnv_is_deterministic_64bit(self, value):
+        a = fnv1a_64(value)
+        assert a == fnv1a_64(value)
+        assert 0 <= a < 2**64
+
+    def test_fnv_spreads_consecutive_inputs(self):
+        hashes = {fnv1a_64(i) % 1000 for i in range(100)}
+        assert len(hashes) > 80
+
+    def test_choose_weighted_respects_weights(self):
+        rng = np.random.default_rng(0)
+        picks = [choose_weighted(rng, {"a": 0.9, "b": 0.1}) for _ in range(500)]
+        assert picks.count("a") > picks.count("b")
+
+    def test_choose_weighted_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            choose_weighted(np.random.default_rng(0), {})
+
+    def test_choose_weighted_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            choose_weighted(np.random.default_rng(0), {"a": -1.0})

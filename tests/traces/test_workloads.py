@@ -1,0 +1,136 @@
+"""Tests for the synthetic enterprise workload generators.
+
+These assert the *characteristics* the paper's narrative depends on:
+read/write mix, size mix relative to the page size (first-stage size
+check), sequentiality of media streams, and re-access skew.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.stats import characterize
+from repro.traces.workloads import (
+    MediaServerWorkload,
+    SyntheticWorkload,
+    UniformWorkload,
+    WebSqlWorkload,
+)
+
+_MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def media_trace():
+    return MediaServerWorkload(num_requests=20_000, footprint_bytes=512 * _MB).generate()
+
+
+@pytest.fixture(scope="module")
+def web_trace():
+    return WebSqlWorkload(num_requests=20_000, footprint_bytes=512 * _MB).generate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = WebSqlWorkload(num_requests=2000, footprint_bytes=64 * _MB, seed=9).generate()
+        b = WebSqlWorkload(num_requests=2000, footprint_bytes=64 * _MB, seed=9).generate()
+        assert [(r.op, r.offset, r.size) for r in a] == [
+            (r.op, r.offset, r.size) for r in b
+        ]
+
+    def test_different_seed_different_trace(self):
+        a = WebSqlWorkload(num_requests=2000, footprint_bytes=64 * _MB, seed=1).generate()
+        b = WebSqlWorkload(num_requests=2000, footprint_bytes=64 * _MB, seed=2).generate()
+        assert [(r.offset) for r in a] != [(r.offset) for r in b]
+
+    def test_exact_request_count(self, media_trace, web_trace):
+        assert len(media_trace) == 20_000
+        assert len(web_trace) == 20_000
+
+
+class TestMediaServerShape:
+    def test_read_dominant(self, media_trace):
+        assert media_trace.read_fraction > 0.7
+
+    def test_streams_are_sequential(self, media_trace):
+        sequential = 0
+        reads = 0
+        previous = None
+        for req in media_trace:
+            if req.is_read and req.size >= 64 * 1024:
+                if previous is not None and req.offset == previous:
+                    sequential += 1
+                reads += 1
+                previous = req.end_offset
+            else:
+                previous = None
+        assert sequential / reads > 0.5
+
+    def test_has_small_metadata_traffic(self, media_trace):
+        # Stream events emit long request runs, so metadata's share of
+        # *requests* is much smaller than its share of events; a few
+        # percent of small requests is the expected signature.
+        small = [r for r in media_trace if r.size <= 8 * 1024]
+        assert len(small) > 0.03 * len(media_trace)
+
+    def test_footprint_respected(self, media_trace):
+        assert media_trace.footprint_bytes() <= 512 * _MB
+
+
+class TestWebSqlShape:
+    def test_mixed_read_write(self, web_trace):
+        assert 0.35 < web_trace.read_fraction < 0.8
+
+    def test_requests_are_small(self, web_trace):
+        sizes = [r.size for r in web_trace]
+        assert sorted(sizes)[len(sizes) // 2] <= 16 * 1024  # median <= one page
+
+    def test_strong_read_skew(self, web_trace):
+        stats = characterize(web_trace, page_size=16 * 1024)
+        assert stats.read_skew["10%"] > 0.4
+
+    def test_size_check_splits_hot_cold(self, web_trace):
+        stats = characterize(web_trace, page_size=16 * 1024)
+        # a meaningful share of writes is below page size (hot)...
+        assert stats.small_write_fraction > 0.2
+        # ...but not everything.
+        assert stats.small_write_fraction < 0.9
+
+    def test_page_size_dependence_of_size_check(self, web_trace):
+        at16k = characterize(web_trace, page_size=16 * 1024).small_write_fraction
+        at8k = characterize(web_trace, page_size=8 * 1024).small_write_fraction
+        assert at16k > at8k  # Fig. 12's page-size effect enters here
+
+
+class TestUniformWorkload:
+    def test_reads_only_touch_written_data(self):
+        trace = UniformWorkload(num_requests=5000, footprint_bytes=64 * _MB).generate()
+        written = set()
+        for req in trace:
+            if req.is_write:
+                written.add(req.offset)
+            else:
+                assert req.offset in written
+
+    def test_read_fraction_parameter(self):
+        trace = UniformWorkload(
+            num_requests=5000, footprint_bytes=64 * _MB, read_fraction=0.2
+        ).generate()
+        assert trace.read_fraction < 0.4
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ConfigError):
+            UniformWorkload(read_fraction=1.5)
+
+
+class TestBaseValidation:
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ConfigError):
+            SyntheticWorkload(num_requests=0)
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ConfigError):
+            SyntheticWorkload(footprint_bytes=1024)
+
+    def test_timestamps_monotone(self, web_trace):
+        stamps = [r.timestamp_us for r in web_trace]
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
