@@ -14,6 +14,12 @@ import pytest
 from repro.bench.experiment import ExperimentRunner, SMOKE_SCALE
 
 
+def pytest_collection_modifyitems(items):
+    """Tag every figure replay so `-m 'not bench'` can skip them."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """One shared, memoizing experiment runner per benchmark session."""

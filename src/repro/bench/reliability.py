@@ -1,0 +1,306 @@
+"""Reliability scenario: the lifetime/latency trade-off sweep.
+
+The paper's figures measure *latency only*; this scenario stresses the
+same device model along the reliability axis opened by
+:mod:`repro.reliability`.  One sweep runs a workload over the plane
+
+    page access speed difference (the paper's 2x-5x knob)
+        x retention age of the resident cold data (hours)
+
+three times per point: the latency-only baseline, the reliability stack
+without refresh, and the stack with the retention-aware refresh policy.
+The report shows how retention (and the P/E cycling the replay itself
+causes) inflates effective read latency through ECC read-retry steps,
+and how much of that inflation the refresh policy buys back — plus what
+refresh costs in background work and extra erases (lifetime).
+
+Exposed as the ``reliability`` CLI subcommand and driven at smoke scale
+by the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.charts import ascii_matrix
+from repro.analysis.tables import format_pct
+from repro.bench.figures import FigureReport
+from repro.errors import ConfigError
+from repro.nand.spec import NandSpec, sim_spec
+from repro.reliability.manager import ReliabilityConfig
+from repro.reliability.retention import SECONDS_PER_HOUR
+from repro.sim.replay import replay_trace
+from repro.traces.record import Trace
+from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
+
+#: workload name -> generator class (same registry as bench.experiment).
+_WORKLOADS = {
+    "media-server": MediaServerWorkload,
+    "web-sql": WebSqlWorkload,
+    "uniform": UniformWorkload,
+}
+
+#: Default sweep axes: fresh, one day, one month, three months of
+#: retention; both ends of the paper's speed-difference range.
+DEFAULT_AGES_HOURS = (0.0, 24.0, 720.0, 2160.0)
+DEFAULT_SPEED_RATIOS = (2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class ReliabilitySweepSpec:
+    """Every knob of one reliability sweep."""
+
+    workload: str = "web-sql"
+    ftl: str = "conventional"
+    speed_ratios: tuple[float, ...] = DEFAULT_SPEED_RATIOS
+    ages_hours: tuple[float, ...] = DEFAULT_AGES_HOURS
+    num_requests: int = 8_000
+    blocks_per_chip: int = 96
+    page_size: int = 16 * 1024
+    footprint_fraction: float = 0.80
+    seed: int = 42
+    config: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+
+    def spec_for(self, speed_ratio: float) -> NandSpec:
+        """The device spec for one sweep column."""
+        return sim_spec(
+            page_size=self.page_size,
+            speed_ratio=speed_ratio,
+            blocks_per_chip=self.blocks_per_chip,
+        )
+
+
+@dataclass
+class ReliabilityPoint:
+    """Measured outcome of one (speed ratio, retention age) sweep point."""
+
+    speed_ratio: float
+    age_hours: float
+    #: mean host read service time per page (us) in the three modes.
+    base_read_us: float
+    aged_read_us: float
+    refresh_read_us: float
+    #: retry behavior without / with refresh.
+    aged_retries_per_read: float
+    refresh_retries_per_read: float
+    uncorrectable_reads: int
+    #: refresh work.
+    refreshed_blocks: int
+    refresh_copied_pages: int
+    refresh_us: float
+    #: lifetime cost: erases without reliability vs with refresh.
+    base_erases: int
+    refresh_erases: int
+
+    @property
+    def retention_penalty(self) -> float:
+        """Relative read-latency inflation caused by retention errors."""
+        if not self.base_read_us:
+            return 0.0
+        return (self.aged_read_us - self.base_read_us) / self.base_read_us
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Share of the retention penalty the refresh policy removed."""
+        penalty = self.aged_read_us - self.base_read_us
+        if penalty <= 0:
+            return 0.0
+        return min(1.0, (self.aged_read_us - self.refresh_read_us) / penalty)
+
+
+def run_reliability_sweep(sweep: ReliabilitySweepSpec | None = None) -> FigureReport:
+    """Execute the sweep and package it as a figure-style report."""
+    sweep = sweep or ReliabilitySweepSpec()
+    if sweep.workload not in _WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {sweep.workload!r}; choose from {sorted(_WORKLOADS)}"
+        )
+    trace = _trace_for(sweep)
+    points: list[ReliabilityPoint] = []
+    for ratio in sweep.speed_ratios:
+        spec = sweep.spec_for(ratio)
+        base = _replay(trace, spec, sweep)
+        for age_hours in sweep.ages_hours:
+            age_s = age_hours * SECONDS_PER_HOUR
+            aged = _replay(trace, spec, sweep, config=sweep.config, age_s=age_s)
+            refreshed = _replay(
+                trace, spec, sweep, config=sweep.config, age_s=age_s, refresh=True
+            )
+            aged_stats = aged.ftl.reliability.stats  # type: ignore[attr-defined]
+            ref_stats = refreshed.ftl.reliability.stats  # type: ignore[attr-defined]
+            points.append(
+                ReliabilityPoint(
+                    speed_ratio=ratio,
+                    age_hours=age_hours,
+                    base_read_us=base.mean_read_page_us,
+                    aged_read_us=aged.mean_read_page_us,
+                    refresh_read_us=refreshed.mean_read_page_us,
+                    aged_retries_per_read=aged_stats.mean_retries_per_read,
+                    refresh_retries_per_read=ref_stats.mean_retries_per_read,
+                    uncorrectable_reads=aged_stats.uncorrectable_reads,
+                    refreshed_blocks=ref_stats.refresh_runs,
+                    refresh_copied_pages=ref_stats.refresh_copied_pages,
+                    refresh_us=ref_stats.refresh_us,
+                    base_erases=base.erase_count,
+                    refresh_erases=refreshed.erase_count,
+                )
+            )
+    return _build_report(sweep, points)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _trace_for(sweep: ReliabilitySweepSpec) -> Trace:
+    spec = sweep.spec_for(sweep.speed_ratios[0])
+    generator = _WORKLOADS[sweep.workload](
+        num_requests=sweep.num_requests,
+        footprint_bytes=int(spec.logical_bytes * sweep.footprint_fraction),
+        seed=sweep.seed,
+    )
+    return generator.generate()
+
+
+def _replay(
+    trace: Trace,
+    spec: NandSpec,
+    sweep: ReliabilitySweepSpec,
+    config: ReliabilityConfig | None = None,
+    age_s: float = 0.0,
+    refresh: bool = False,
+):
+    return replay_trace(
+        trace,
+        spec,
+        ftl_kind=sweep.ftl,
+        warm_fill_fraction=sweep.footprint_fraction,
+        reliability=config,
+        refresh=refresh,
+        retention_age_s=age_s,
+    )
+
+
+def _age_label(age_hours: float) -> str:
+    if age_hours < 24.0:
+        return f"{age_hours:.0f}h"
+    return f"{age_hours / 24.0:.0f}d"
+
+
+def _build_report(
+    sweep: ReliabilitySweepSpec, points: list[ReliabilityPoint]
+) -> FigureReport:
+    report = FigureReport(
+        figure_id="Reliability",
+        title=(
+            f"Retention/variation sweep: {sweep.workload} on {sweep.ftl} "
+            f"({sweep.num_requests} reqs, {sweep.blocks_per_chip} blocks)"
+        ),
+        paper_claim=(
+            "beyond the paper: the feature-size taper also drives a "
+            "reliability asymmetry — retention age and P/E cycling raise "
+            "RBER, ECC read-retry converts that into read latency, and a "
+            "retention-aware refresh recovers most of it (Luo et al., "
+            "arXiv:1807.05140)"
+        ),
+        headers=[
+            "speed",
+            "age",
+            "base rd (us/pg)",
+            "no-refresh (us/pg)",
+            "penalty",
+            "refresh (us/pg)",
+            "recovered",
+            "retries/rd",
+            "uncorr",
+            "refr blocks",
+            "refresh (s)",
+            "extra erases",
+        ],
+    )
+    for p in points:
+        report.rows.append(
+            [
+                f"{p.speed_ratio:.0f}x",
+                _age_label(p.age_hours),
+                f"{p.base_read_us:.1f}",
+                f"{p.aged_read_us:.1f}",
+                format_pct(p.retention_penalty, signed=True),
+                f"{p.refresh_read_us:.1f}",
+                format_pct(p.recovered_fraction),
+                f"{p.aged_retries_per_read:.2f}",
+                p.uncorrectable_reads,
+                p.refreshed_blocks,
+                f"{p.refresh_us / 1e6:.2f}",
+                p.refresh_erases - p.base_erases,
+            ]
+        )
+    report.chart = ascii_matrix(
+        [f"{r:.0f}x" for r in sweep.speed_ratios],
+        [_age_label(a) for a in sweep.ages_hours],
+        [
+            [
+                100.0 * next(
+                    p for p in points
+                    if p.speed_ratio == ratio and p.age_hours == age
+                ).retention_penalty
+                for age in sweep.ages_hours
+            ]
+            for ratio in sweep.speed_ratios
+        ],
+        title="read-latency penalty without refresh (%), speed ratio x retention age",
+        unit="%",
+    )
+    report.checks = _shape_checks(sweep, points)
+    return report
+
+
+def _shape_checks(
+    sweep: ReliabilitySweepSpec, points: list[ReliabilityPoint]
+) -> list[tuple[str, bool]]:
+    """Shape checks adapted to the sweep the user actually asked for.
+
+    Age-dependent expectations only apply when the sweep contains an
+    aged point (>= 1 day): sweeping ``--ages 0`` alone is a perfectly
+    valid null experiment and must not fail a check that needs
+    retention to have had an effect.
+    """
+    by_ratio: dict[float, list[ReliabilityPoint]] = {}
+    for p in points:
+        by_ratio.setdefault(p.speed_ratio, []).append(p)
+    monotone = all(
+        later.aged_read_us >= earlier.aged_read_us - 1e-9
+        for pts in by_ratio.values()
+        for earlier, later in zip(
+            sorted(pts, key=lambda p: p.age_hours),
+            sorted(pts, key=lambda p: p.age_hours)[1:],
+        )
+    )
+    checks = [
+        ("read latency is monotone in retention age (no refresh)", monotone),
+        (
+            "fresh data is (near) penalty-free (<= 2% at age 0)",
+            all(p.retention_penalty <= 0.02 for p in points if p.age_hours == 0.0),
+        ),
+    ]
+    oldest_aged = [
+        max(aged, key=lambda p: p.age_hours)
+        for pts in by_ratio.values()
+        if (aged := [p for p in pts if p.age_hours >= 24.0])
+    ]
+    if oldest_aged:
+        checks += [
+            (
+                "retention age measurably inflates read latency (>= 3% at max age)",
+                all(p.retention_penalty >= 0.03 for p in oldest_aged),
+            ),
+            (
+                "refresh recovers most of the retention penalty (>= 50% at max age)",
+                all(p.recovered_fraction >= 0.50 for p in oldest_aged),
+            ),
+            (
+                "refresh pays with background work, not silence (blocks refreshed at max age)",
+                all(p.refreshed_blocks > 0 for p in oldest_aged),
+            ),
+        ]
+    return checks

@@ -6,6 +6,10 @@ Subcommands
     Regenerate a paper artifact and print the paper-style report.
 ``run``
     Replay one workload on one FTL and print the run summary.
+``reliability``
+    Sweep speed-ratio x retention-age through the reliability stack
+    (process variation, retention RBER, ECC read-retry, refresh) and
+    print the lifetime/latency trade-off report.
 ``characterize``
     Print trace statistics for a synthetic workload (or an MSRC CSV).
 ``spec``
@@ -19,8 +23,16 @@ import sys
 
 from repro.bench.experiment import FULL_SCALE, SMOKE_SCALE, Cell, ExperimentRunner
 from repro.bench.figures import FIGURES
+from repro.bench.reliability import (
+    DEFAULT_AGES_HOURS,
+    DEFAULT_SPEED_RATIOS,
+    ReliabilitySweepSpec,
+    run_reliability_sweep,
+)
 from repro.bench.reporting import render_reports, run_figures
+from repro.errors import ConfigError
 from repro.nand.spec import sim_spec, table1_spec
+from repro.reliability.manager import ReliabilityConfig
 from repro.sim.replay import replay_trace
 from repro.traces.msr import read_msr_csv
 from repro.traces.stats import characterize
@@ -62,6 +74,36 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--page-size", type=int, default=16 * 1024)
     run.add_argument("--seed", type=int, default=42)
 
+    rel = sub.add_parser(
+        "reliability",
+        help="sweep speed-ratio x retention-age through the reliability stack",
+    )
+    rel.add_argument("--workload", choices=sorted(_WORKLOADS), default="web-sql")
+    rel.add_argument("--ftl", choices=["conventional", "ppb"], default="conventional")
+    rel.add_argument("--requests", type=int, default=8_000)
+    rel.add_argument("--blocks", type=int, default=96, help="blocks per chip")
+    rel.add_argument(
+        "--speed-ratios",
+        type=_float_list,
+        default=DEFAULT_SPEED_RATIOS,
+        metavar="R1,R2,...",
+        help="speed-difference sweep points (default: 2,4)",
+    )
+    rel.add_argument(
+        "--ages",
+        type=_float_list,
+        default=DEFAULT_AGES_HOURS,
+        metavar="H1,H2,...",
+        help="retention ages in hours (default: 0,24,720,2160)",
+    )
+    rel.add_argument("--seed", type=int, default=42)
+    rel.add_argument(
+        "--base-rber",
+        type=float,
+        default=ReliabilityConfig().base_rber,
+        help="RBER of a fresh median bottom-layer page",
+    )
+
     char = sub.add_parser("characterize", help="print trace statistics")
     char.add_argument("--workload", choices=sorted(_WORKLOADS), default=None)
     char.add_argument("--msr-csv", default=None, help="path to an MSRC CSV trace")
@@ -70,6 +112,37 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("spec", help="print the paper's Table 1 device")
     return parser
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    """Parse a comma-separated list of floats (argparse type)."""
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated float list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("need at least one value")
+    return values
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    try:
+        sweep = ReliabilitySweepSpec(
+            workload=args.workload,
+            ftl=args.ftl,
+            speed_ratios=tuple(args.speed_ratios),
+            ages_hours=tuple(args.ages),
+            num_requests=args.requests,
+            blocks_per_chip=args.blocks,
+            seed=args.seed,
+            config=ReliabilityConfig(base_rber=args.base_rber),
+        )
+        report = run_reliability_sweep(sweep)
+    except ConfigError as exc:
+        print(f"repro-flash reliability: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.all_checks_pass else 1
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -118,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "reliability":
+        return _cmd_reliability(args)
     if args.command == "characterize":
         return _cmd_characterize(args)
     if args.command == "spec":

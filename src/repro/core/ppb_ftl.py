@@ -46,13 +46,22 @@ class PPBFTL(BaseFTL):
         victim_policy: VictimPolicy | None = None,
         gc_low_blocks: int | None = None,
         gc_high_blocks: int | None = None,
+        reliability=None,
+        refresh=None,
     ) -> None:
         if gc_low_blocks is None:
             # PPB keeps up to four open blocks (two areas x two speed
             # classes), so it needs a slightly deeper free reserve than
             # the baseline's two.
             gc_low_blocks = max(5, device.spec.total_blocks // 64)
-        super().__init__(device, victim_policy, gc_low_blocks, gc_high_blocks)
+        super().__init__(
+            device,
+            victim_policy,
+            gc_low_blocks,
+            gc_high_blocks,
+            reliability=reliability,
+            refresh=refresh,
+        )
         self.config = config or PPBConfig()
         self.identifier = identifier or make_identifier(
             self.config.identifier, self.spec.page_size

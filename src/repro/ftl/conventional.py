@@ -33,8 +33,17 @@ class ConventionalFTL(BaseFTL):
         gc_low_blocks: int | None = None,
         gc_high_blocks: int | None = None,
         separate_gc_stream: bool = False,
+        reliability=None,
+        refresh=None,
     ) -> None:
-        super().__init__(device, victim_policy, gc_low_blocks, gc_high_blocks)
+        super().__init__(
+            device,
+            victim_policy,
+            gc_low_blocks,
+            gc_high_blocks,
+            reliability=reliability,
+            refresh=refresh,
+        )
         self.separate_gc_stream = separate_gc_stream
         if separate_gc_stream:
             self.name = "conventional-2s"

@@ -102,6 +102,20 @@ class LatencyModel:
         t = self.program_us_by_page[page_index]
         return float(t + self._page_transfer_us) if include_transfer else float(t)
 
+    def retry_read_us(self, page_index: int, steps: int) -> float:
+        """Extra latency of ``steps`` ECC read-retry attempts on a page.
+
+        Each retry step re-senses the array with shifted read reference
+        voltages and re-transfers the page for another decode attempt,
+        so a step costs the page's own asymmetric array read plus one
+        bus transfer — retries on fast (bottom-layer) pages are cheaper
+        than on slow ones, coupling the paper's latency asymmetry into
+        the reliability model of :mod:`repro.reliability`.
+        """
+        if steps <= 0:
+            return 0.0
+        return steps * (float(self.read_us_by_page[page_index]) + self._page_transfer_us)
+
     def erase_us(self) -> float:
         """Block erase latency (layer-independent)."""
         return self.spec.erase_us

@@ -1,0 +1,64 @@
+"""Reliability modeling for 3D charge-trap NAND: process variation,
+retention, ECC read-retry, and refresh.
+
+The paper exploits the *latency* asymmetry of tapered vertical channels;
+the same feature-size taper drives a *reliability* asymmetry.  Cells at
+the bottom of the channel (narrow opening, strong field) program and
+read faster but experience a stronger tunnel-oxide field, so their raw
+bit error rate (RBER) is higher; and all cells lose charge over
+retention time, fastest right after programming ("early retention
+loss", Luo et al., arXiv:1807.05140).
+
+This package turns those mechanisms into a pluggable latency/lifetime
+model that composes with the existing simulator:
+
+:mod:`repro.reliability.variation`
+    Per-layer RBER multipliers from the same channel-radius taper as
+    :mod:`repro.nand.physics`, plus block-to-block lognormal process
+    variation.  A ``uniform`` profile is the null model: all
+    multipliers 1.0, so existing latency-only results are untouched.
+:mod:`repro.reliability.retention`
+    Retention-driven RBER growth with the fast/slow two-phase decay of
+    early retention loss, and a P/E-cycling wear-out factor.
+:mod:`repro.reliability.ecc`
+    An ECC + read-retry model mapping instantaneous RBER to the number
+    of re-sensing retry steps (extra read latency) and, past the retry
+    budget, uncorrectable-read events.
+:mod:`repro.reliability.manager`
+    The stateful composition: per-block program timestamps and P/E
+    counts driven by the simulation clock, queried on every host read
+    to produce the retry latency penalty.  This is what
+    :class:`repro.ftl.base.BaseFTL` hooks when reliability is enabled.
+:mod:`repro.reliability.refresh`
+    A retention-aware refresh policy: blocks whose predicted worst-page
+    retry count exceeds a budget are migrated (rewritten elsewhere and
+    erased), resetting their retention clock.  Pluggable into any
+    :class:`~repro.ftl.base.BaseFTL` subclass (conventional and PPB).
+
+The benchmark scenario over this package lives in
+:mod:`repro.bench.reliability` and is exposed as the ``reliability``
+CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.ecc import EccModel
+from repro.reliability.manager import (
+    ReliabilityConfig,
+    ReliabilityManager,
+    ReliabilityStats,
+)
+from repro.reliability.refresh import RefreshPolicy
+from repro.reliability.retention import RetentionModel
+from repro.reliability.variation import VARIATION_PROFILES, VariationModel
+
+__all__ = [
+    "EccModel",
+    "RefreshPolicy",
+    "ReliabilityConfig",
+    "ReliabilityManager",
+    "ReliabilityStats",
+    "RetentionModel",
+    "VARIATION_PROFILES",
+    "VariationModel",
+]

@@ -1,0 +1,287 @@
+"""Stateful reliability engine: clocks, wear, and per-read penalties.
+
+:class:`ReliabilityManager` owns the dynamic state the pure models in
+:mod:`~repro.reliability.variation`, :mod:`~repro.reliability.retention`
+and :mod:`~repro.reliability.ecc` need:
+
+* a simulation clock in seconds, advanced by the FTL with every
+  operation's latency (the DES/sequential replay time base);
+* per-block retention timestamps (when the block's current erase cycle
+  was first programmed) and program/erase cycle counts;
+* the accounting of retries, uncorrectable reads and refresh work.
+
+On every host read the owning FTL asks :meth:`on_host_read` for the
+retry penalty of the physical page: instantaneous RBER = base RBER x
+spatial variation x retention x wear, pushed through the ECC model to a
+retry-step count, and priced with the page's own asymmetric read
+latency.  The whole stack is optional — an FTL built without a manager
+is byte-for-byte the latency-only simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nand.device import NandDevice
+from repro.reliability.ecc import EccModel
+from repro.reliability.retention import RetentionModel
+from repro.reliability.variation import VariationModel
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Every knob of the reliability stack in one frozen bundle."""
+
+    #: RBER of a fresh, median, bottom-layer page.
+    base_rber: float = 2e-4
+    # -- spatial variation --------------------------------------------------
+    variation_profile: str = "tapered"
+    layer_exponent: float = 2.0
+    block_sigma: float = 0.25
+    variation_seed: int = 42
+    # -- retention / wear ---------------------------------------------------
+    fast_amp: float = 4.0
+    fast_tau_s: float = 7200.0
+    slow_amp: float = 2.5
+    slow_tau_s: float = 86400.0
+    pe_ref: float = 100.0
+    pe_exponent: float = 1.0
+    # -- ECC / read-retry ---------------------------------------------------
+    rber_limit: float = 1e-3
+    retry_gain: float = 2.0
+    max_retries: int = 8
+    #: driver-level recovery cost of an uncorrectable read (RAID rebuild).
+    uncorrectable_penalty_us: float = 10_000.0
+    # -- refresh policy (consumed by repro.reliability.refresh) -------------
+    refresh_retry_budget: int = 1
+    refresh_check_interval: int = 128
+    refresh_max_blocks_per_check: int = 4
+    refresh_min_age_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.base_rber < 0:
+            raise ConfigError(f"base_rber must be >= 0, got {self.base_rber}")
+        if self.uncorrectable_penalty_us < 0:
+            raise ConfigError(
+                f"uncorrectable_penalty_us must be >= 0, got {self.uncorrectable_penalty_us}"
+            )
+        if self.refresh_check_interval < 1:
+            raise ConfigError(
+                f"refresh_check_interval must be >= 1, got {self.refresh_check_interval}"
+            )
+        if self.refresh_max_blocks_per_check < 1:
+            raise ConfigError(
+                "refresh_max_blocks_per_check must be >= 1, got "
+                f"{self.refresh_max_blocks_per_check}"
+            )
+
+    @classmethod
+    def null(cls, **overrides: object) -> "ReliabilityConfig":
+        """The uniform null model: no variation, zero RBER, no retries.
+
+        Running any workload with this config must reproduce the
+        latency-only simulator's numbers exactly (acceptance check).
+        """
+        base = dict(variation_profile="uniform", block_sigma=0.0, base_rber=0.0)
+        base.update(overrides)
+        return cls(**base)  # type: ignore[arg-type]
+
+    def replace(self, **changes: object) -> "ReliabilityConfig":
+        """A modified copy (convenience for sweeps)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters accumulated by one manager over one simulation run."""
+
+    #: host reads that needed at least one retry step.
+    retried_reads: int = 0
+    #: total retry steps across all host reads.
+    retry_steps: int = 0
+    #: total extra read latency from retries (us).
+    retry_us: float = 0.0
+    #: host reads the full retry budget could not decode.
+    uncorrectable_reads: int = 0
+    #: host reads examined by the manager.
+    checked_reads: int = 0
+    #: refresh accounting (filled via note_refresh).
+    refresh_runs: int = 0
+    refresh_copied_pages: int = 0
+    refresh_us: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_retries_per_read(self) -> float:
+        """Average retry steps per examined host read."""
+        if not self.checked_reads:
+            return 0.0
+        return self.retry_steps / self.checked_reads
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "checked_reads": self.checked_reads,
+            "retried_reads": self.retried_reads,
+            "retry_steps": self.retry_steps,
+            "retry_us": self.retry_us,
+            "uncorrectable_reads": self.uncorrectable_reads,
+            "mean_retries_per_read": self.mean_retries_per_read,
+            "refresh_runs": self.refresh_runs,
+            "refresh_copied_pages": self.refresh_copied_pages,
+            "refresh_us": self.refresh_us,
+            **{f"extra.{k}": v for k, v in sorted(self.extra.items())},
+        }
+
+
+class ReliabilityManager:
+    """Composes the reliability models over one device's lifetime."""
+
+    def __init__(self, device: NandDevice, config: ReliabilityConfig | None = None) -> None:
+        self.device = device
+        self.spec = device.spec
+        self.config = config or ReliabilityConfig()
+        cfg = self.config
+        self.variation = VariationModel(
+            self.spec,
+            profile=cfg.variation_profile,
+            layer_exponent=cfg.layer_exponent,
+            block_sigma=cfg.block_sigma,
+            seed=cfg.variation_seed,
+        )
+        self.retention = RetentionModel(
+            fast_amp=cfg.fast_amp,
+            fast_tau_s=cfg.fast_tau_s,
+            slow_amp=cfg.slow_amp,
+            slow_tau_s=cfg.slow_tau_s,
+            pe_ref=cfg.pe_ref,
+            pe_exponent=cfg.pe_exponent,
+        )
+        self.ecc = EccModel(
+            rber_limit=cfg.rber_limit,
+            retry_gain=cfg.retry_gain,
+            max_retries=cfg.max_retries,
+        )
+        total_blocks = self.spec.total_blocks
+        #: simulation clock in seconds, advanced by the owning FTL.
+        self.now_s = 0.0
+        #: when each block's current erase cycle was first programmed.
+        self._program_time_s = np.zeros(total_blocks, dtype=np.float64)
+        #: whether the block holds data this erase cycle (timestamp valid).
+        self._stamped = np.zeros(total_blocks, dtype=bool)
+        #: program/erase cycles seen by this manager.
+        self._pe_cycles = np.zeros(total_blocks, dtype=np.int64)
+        self.stats = ReliabilityStats()
+        self._pages_per_block = self.spec.pages_per_block
+
+    # ------------------------------------------------------------------
+    # Clock and lifecycle notifications (called by the FTL)
+    # ------------------------------------------------------------------
+
+    def advance_us(self, latency_us: float) -> None:
+        """Advance the simulation clock by an operation's latency."""
+        self.now_s += latency_us * 1e-6
+
+    def note_program(self, pbn: int) -> None:
+        """A page was programmed into ``pbn``; stamp its retention clock."""
+        if not self._stamped[pbn]:
+            self._stamped[pbn] = True
+            self._program_time_s[pbn] = self.now_s
+
+    def note_erase(self, pbn: int) -> None:
+        """Block ``pbn`` was erased; one more P/E cycle, clock cleared."""
+        self._pe_cycles[pbn] += 1
+        self._stamped[pbn] = False
+
+    def age_all(self, extra_age_s: float) -> None:
+        """Pre-age all currently-written data by ``extra_age_s`` seconds.
+
+        Models a device that sat powered-off after preconditioning: the
+        benchmark scenario calls this once after the warm fill so the
+        sweep's *retention age* applies to the resident cold data, while
+        data rewritten during the replay restarts from age 0.
+        """
+        if extra_age_s < 0:
+            raise ConfigError(f"extra_age_s must be >= 0, got {extra_age_s}")
+        self._program_time_s[self._stamped] -= extra_age_s
+
+    def reset_stats(self) -> None:
+        """Zero the accounting (after warm fill)."""
+        self.stats = ReliabilityStats()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def age_of(self, pbn: int) -> float:
+        """Retention age in seconds of the block's oldest data this cycle."""
+        if not self._stamped[pbn]:
+            return 0.0
+        return self.now_s - float(self._program_time_s[pbn])
+
+    def pe_cycles_of(self, pbn: int) -> int:
+        """P/E cycles the manager has seen for ``pbn``."""
+        return int(self._pe_cycles[pbn])
+
+    def rber_of(self, pbn: int, page_index: int) -> float:
+        """Instantaneous RBER of one physical page."""
+        spatial = self.variation.multiplier(pbn, page_index)
+        temporal = self.retention.combined_factor(
+            self.age_of(pbn), self.pe_cycles_of(pbn)
+        )
+        return self.config.base_rber * spatial * temporal
+
+    def predicted_block_retries(self, pbn: int) -> tuple[int, bool]:
+        """Retry steps the block's *worst* page would need right now."""
+        rber = (
+            self.config.base_rber
+            * self.variation.worst_page_multiplier(pbn)
+            * self.retention.combined_factor(self.age_of(pbn), self.pe_cycles_of(pbn))
+        )
+        return self.ecc.retries_needed(rber)
+
+    # ------------------------------------------------------------------
+    # Per-read penalty (hot path)
+    # ------------------------------------------------------------------
+
+    def on_host_read(self, ppn: int) -> float:
+        """Retry/recovery latency penalty (us) for a host read of ``ppn``."""
+        pbn, page = divmod(ppn, self._pages_per_block)
+        stats = self.stats
+        stats.checked_reads += 1
+        rber = self.rber_of(pbn, page)
+        steps, uncorrectable = self.ecc.retries_needed(rber)
+        if not steps and not uncorrectable:
+            return 0.0
+        extra = self.device.latency.retry_read_us(page, steps)
+        if steps:
+            stats.retried_reads += 1
+            stats.retry_steps += steps
+        if uncorrectable:
+            stats.uncorrectable_reads += 1
+            extra += self.config.uncorrectable_penalty_us
+        stats.retry_us += extra
+        return extra
+
+    # ------------------------------------------------------------------
+    # Refresh accounting (called by the FTL's refresh driver)
+    # ------------------------------------------------------------------
+
+    def note_refresh(self, copied_pages: int, latency_us: float) -> None:
+        """Record one refreshed block's relocation work."""
+        self.stats.refresh_runs += 1
+        self.stats.refresh_copied_pages += copied_pages
+        self.stats.refresh_us += latency_us
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"ReliabilityManager(base_rber={self.config.base_rber:.1e}, "
+            f"{self.variation.describe()}, {self.retention.describe()}, "
+            f"{self.ecc.describe()})"
+        )

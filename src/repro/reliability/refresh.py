@@ -1,0 +1,110 @@
+"""Retention-aware refresh: rewrite at-risk cold blocks before they rot.
+
+Data that is written once and then only read (exactly the cold data the
+PPB strategy parks on slow pages) never gets the implicit "refresh" of
+being rewritten, so its retention age — and with it the per-read retry
+cost — grows without bound.  The remedy, as in Luo et al.'s refresh
+schemes, is to periodically migrate blocks whose predicted error rate
+approaches the ECC's comfort zone: relocate the live pages, erase the
+block, and let the retention clock restart.
+
+:class:`RefreshPolicy` is the *selection* half: every
+``check_interval`` host operations the FTL asks it for due blocks — FULL
+blocks old enough to matter whose worst-page predicted retry count
+exceeds the budget — and refreshes at most ``max_blocks_per_check`` of
+them per check (bounding the background work any single host op can
+trigger).  The *mechanics* half reuses the FTL's own GC relocation path
+(:meth:`repro.ftl.base.BaseFTL._collect`), so refresh inherits every
+data-integrity invariant the GC tests already prove, and PPB's
+classification hooks naturally re-place refreshed data on
+speed-appropriate pages.
+"""
+
+from __future__ import annotations
+
+from repro.ftl.blockinfo import BlockManager
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+
+
+class RefreshPolicy:
+    """Selects which blocks to refresh, and when to look."""
+
+    name = "retention-refresh"
+
+    def __init__(
+        self,
+        manager: ReliabilityManager,
+        config: ReliabilityConfig | None = None,
+    ) -> None:
+        self.manager = manager
+        cfg = config or manager.config
+        #: refresh a block when its worst page would need more than this
+        #: many retry steps.
+        self.retry_budget = cfg.refresh_retry_budget
+        #: host ops between refresh scans.
+        self.check_interval = cfg.refresh_check_interval
+        #: cap on blocks refreshed per scan (bounds the background stall).
+        self.max_blocks_per_check = cfg.refresh_max_blocks_per_check
+        #: ignore blocks younger than this (they cannot be at risk yet).
+        self.min_age_s = cfg.refresh_min_age_s
+        #: op sequence of the last scan (cadence is crossing-based, not
+        #: exact-multiple, so ops that bypass the refresh hook — trims,
+        #: unmapped reads — can never suppress a scan, only delay it to
+        #: the next hooked op).
+        self._last_check_op = 0
+
+    # ------------------------------------------------------------------
+
+    def is_check_due(self, op_sequence: int) -> bool:
+        """Whether the FTL should scan for refresh work at this op."""
+        if op_sequence - self._last_check_op < self.check_interval:
+            return False
+        self._last_check_op = op_sequence
+        return True
+
+    def due_blocks(
+        self, blocks: BlockManager, exclude: set[int] | None = None
+    ) -> list[int]:
+        """At-risk FULL blocks, most urgent first, capped per check."""
+        candidates = blocks.victim_candidates(exclude)
+        if not candidates.size:
+            return []
+        manager = self.manager
+        urgencies: list[tuple[int, int]] = []
+        for pbn in candidates:
+            pbn = int(pbn)
+            if manager.age_of(pbn) < self.min_age_s:
+                continue
+            steps, uncorrectable = manager.predicted_block_retries(pbn)
+            if uncorrectable or steps > self.retry_budget:
+                urgencies.append((steps, pbn))
+        if not urgencies:
+            return []
+        urgencies.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [pbn for _, pbn in urgencies[: self.max_blocks_per_check]]
+
+    def pressure(self, blocks: BlockManager) -> float:
+        """Fraction of FULL blocks currently past the refresh threshold.
+
+        Diagnostic for reports: 0.0 means the device is healthy, values
+        near 1.0 mean the refresh engine is falling behind.
+        """
+        candidates = blocks.victim_candidates(None)
+        if not candidates.size:
+            return 0.0
+        due = sum(
+            1
+            for pbn in candidates
+            if self.manager.age_of(int(pbn)) >= self.min_age_s
+            and self.manager.predicted_block_retries(int(pbn))[0] > self.retry_budget
+        )
+        return due / float(candidates.size)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"RefreshPolicy(budget={self.retry_budget} retries, "
+            f"every {self.check_interval} ops, "
+            f"<= {self.max_blocks_per_check} blocks/check, "
+            f"min_age={self.min_age_s / 3600.0:.1f}h)"
+        )

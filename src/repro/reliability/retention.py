@@ -1,0 +1,102 @@
+"""Retention and wear-out: how RBER grows over time and P/E cycles.
+
+Charge-trap cells leak charge from the moment they are programmed.
+Luo et al. (arXiv:1807.05140) characterize *early retention loss* in
+3D NAND: errors accumulate quickly in the first hours after a program
+(fast detrapping of shallow charge) and then settle into a slow
+log-like growth.  We model the retention multiplier as
+
+``1 + fast_amp * (1 - exp(-age / fast_tau)) + slow_amp * log1p(age / slow_tau)``
+
+which is 1.0 at age 0, rises steeply on the ``fast_tau`` scale, and
+keeps creeping on the ``slow_tau`` scale — strictly increasing in age,
+which the property tests assert.
+
+Wear-out couples in multiplicatively: a block with more program/erase
+cycles has a damaged tunnel oxide that both errs more immediately and
+leaks faster.  ``(1 + pe / pe_ref) ** pe_exponent`` is 1.0 for a fresh
+block and strictly increasing in the cycle count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+#: Seconds per hour, for the scenario's retention-age knobs.
+SECONDS_PER_HOUR = 3600.0
+
+
+class RetentionModel:
+    """Time- and wear-dependent RBER multipliers.
+
+    Parameters
+    ----------
+    fast_amp / fast_tau_s:
+        Amplitude and time constant of the early (fast) retention-loss
+        phase.  Defaults saturate within a few hours.
+    slow_amp / slow_tau_s:
+        Coefficient and time constant of the slow log-growth phase.
+    pe_ref / pe_exponent:
+        Wear-out scaling: at ``pe_ref`` cycles the wear factor is
+        ``2 ** pe_exponent``.
+    """
+
+    def __init__(
+        self,
+        fast_amp: float = 4.0,
+        fast_tau_s: float = 2.0 * SECONDS_PER_HOUR,
+        slow_amp: float = 2.5,
+        slow_tau_s: float = 24.0 * SECONDS_PER_HOUR,
+        pe_ref: float = 100.0,
+        pe_exponent: float = 1.0,
+    ) -> None:
+        for name, value in (
+            ("fast_amp", fast_amp),
+            ("slow_amp", slow_amp),
+            ("pe_exponent", pe_exponent),
+        ):
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
+        for name, value in (
+            ("fast_tau_s", fast_tau_s),
+            ("slow_tau_s", slow_tau_s),
+            ("pe_ref", pe_ref),
+        ):
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        self.fast_amp = float(fast_amp)
+        self.fast_tau_s = float(fast_tau_s)
+        self.slow_amp = float(slow_amp)
+        self.slow_tau_s = float(slow_tau_s)
+        self.pe_ref = float(pe_ref)
+        self.pe_exponent = float(pe_exponent)
+
+    # ------------------------------------------------------------------
+
+    def retention_factor(self, age_s: float) -> float:
+        """RBER multiplier after ``age_s`` seconds of retention (>= 1.0)."""
+        if age_s <= 0.0:
+            return 1.0
+        fast = self.fast_amp * (1.0 - math.exp(-age_s / self.fast_tau_s))
+        slow = self.slow_amp * math.log1p(age_s / self.slow_tau_s)
+        return 1.0 + fast + slow
+
+    def pe_factor(self, pe_cycles: int) -> float:
+        """RBER multiplier after ``pe_cycles`` program/erase cycles (>= 1.0)."""
+        if pe_cycles <= 0:
+            return 1.0
+        return (1.0 + pe_cycles / self.pe_ref) ** self.pe_exponent
+
+    def combined_factor(self, age_s: float, pe_cycles: int) -> float:
+        """Joint retention x wear multiplier for one block."""
+        return self.retention_factor(age_s) * self.pe_factor(pe_cycles)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"RetentionModel(fast={self.fast_amp:.1f}@{self.fast_tau_s / SECONDS_PER_HOUR:.1f}h, "
+            f"slow={self.slow_amp:.1f}@{self.slow_tau_s / SECONDS_PER_HOUR:.1f}h, "
+            f"pe_ref={self.pe_ref:.0f}^{self.pe_exponent:.1f})"
+        )

@@ -2,7 +2,10 @@
 
 This is the function every experiment, example and benchmark funnels
 through, so each figure is a thin parameterization of the same code
-path.
+path.  The optional reliability stack (process variation, retention,
+ECC read-retry, refresh — see :mod:`repro.reliability`) threads through
+here too: pass a :class:`~repro.reliability.manager.ReliabilityConfig`
+to attach it, leave it ``None`` for the latency-only simulator.
 """
 
 from __future__ import annotations
@@ -16,28 +19,54 @@ from repro.ftl.conventional import ConventionalFTL
 from repro.ftl.fast import FastFTL
 from repro.nand.device import NandDevice
 from repro.nand.spec import NandSpec
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+from repro.reliability.refresh import RefreshPolicy
 from repro.sim.ssd import SSD, RunResult
 from repro.traces.record import Trace
 
-#: Registered FTL factories; each takes a NandDevice.
-FTL_FACTORIES: dict[str, Callable[[NandDevice], object]] = {
-    "conventional": ConventionalFTL,
-    "fast": FastFTL,
-    "ppb": PPBFTL,
+def _make_conventional(device, ppb_config, reliability, refresh):
+    return ConventionalFTL(device, reliability=reliability, refresh=refresh)
+
+
+def _make_fast(device, ppb_config, reliability, refresh):
+    return FastFTL(device)
+
+
+def _make_ppb(device, ppb_config, reliability, refresh):
+    return PPBFTL(device, config=ppb_config, reliability=reliability, refresh=refresh)
+
+
+#: Registered FTL factories; each takes (device, ppb_config, reliability, refresh).
+FTL_FACTORIES: dict[str, Callable[..., object]] = {
+    "conventional": _make_conventional,
+    "fast": _make_fast,
+    "ppb": _make_ppb,
 }
 
+#: FTLs that accept the reliability stack (BaseFTL subclasses).
+RELIABILITY_FTLS = ("conventional", "ppb")
 
-def make_ftl(kind: str, device: NandDevice, ppb_config: PPBConfig | None = None):
+
+def make_ftl(
+    kind: str,
+    device: NandDevice,
+    ppb_config: PPBConfig | None = None,
+    reliability: ReliabilityManager | None = None,
+    refresh: RefreshPolicy | None = None,
+):
     """Instantiate an FTL by name ("conventional", "fast", "ppb")."""
-    if kind == "ppb":
-        return PPBFTL(device, config=ppb_config)
     try:
         factory = FTL_FACTORIES[kind]
     except KeyError:
         raise ConfigError(
             f"unknown FTL {kind!r}; choose from {sorted(FTL_FACTORIES)}"
         ) from None
-    return factory(device)
+    if reliability is not None and kind not in RELIABILITY_FTLS:
+        raise ConfigError(
+            f"FTL {kind!r} does not support the reliability stack; "
+            f"choose from {RELIABILITY_FTLS}"
+        )
+    return factory(device, ppb_config, reliability, refresh)
 
 
 def replay_trace(
@@ -47,6 +76,9 @@ def replay_trace(
     ppb_config: PPBConfig | None = None,
     warm_fill_fraction: float = 0.9,
     mode: str = "sequential",
+    reliability: ReliabilityConfig | None = None,
+    refresh: bool = False,
+    retention_age_s: float = 0.0,
 ) -> RunResult:
     """Replay a trace on a fresh device; returns the aggregate result.
 
@@ -54,13 +86,26 @@ def replay_trace(
     wrap), then the device is aged by a sequential warm fill so garbage
     collection is active from the start — matching how trace-driven
     flash studies precondition devices.
+
+    With ``reliability`` set, a :class:`ReliabilityManager` (and, when
+    ``refresh`` is true, a :class:`RefreshPolicy`) attaches to the FTL;
+    ``retention_age_s`` then pre-ages the warm-filled data, modeling a
+    device that sat powered off for that long before the replay — the
+    knob the ``repro reliability`` scenario sweeps.  The manager is
+    exposed on the result's FTL as ``ftl.reliability``.
     """
     device = NandDevice(spec)
-    ftl = make_ftl(ftl_kind, device, ppb_config)
+    manager = ReliabilityManager(device, reliability) if reliability else None
+    policy = RefreshPolicy(manager) if (manager is not None and refresh) else None
+    ftl = make_ftl(ftl_kind, device, ppb_config, manager, policy)
     ssd = SSD(ftl, spec.page_size)
     fitted = trace.fit_to(ssd.capacity_bytes)
     if warm_fill_fraction > 0:
         ssd.warm_fill(warm_fill_fraction)
+    if manager is not None:
+        manager.reset_stats()
+        if retention_age_s > 0:
+            manager.age_all(retention_age_s)
     result = ssd.replay(fitted, mode=mode)
     result.ftl = ftl  # type: ignore[attr-defined]  # exposed for reports
     return result

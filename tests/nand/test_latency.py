@@ -125,3 +125,22 @@ class TestSpeedClasses:
             model.speed_class(0, 0)
         with pytest.raises(ConfigError):
             model.speed_class(99, 2)
+
+
+class TestRetryReads:
+    def test_zero_steps_cost_nothing(self):
+        model = LatencyModel(tiny_spec())
+        assert model.retry_read_us(0, 0) == 0.0
+        assert model.retry_read_us(0, -1) == 0.0
+
+    def test_step_costs_array_read_plus_transfer(self):
+        spec = tiny_spec(speed_ratio=3.0)
+        model = LatencyModel(spec)
+        expected = model.read_us(5, include_transfer=False) + spec.transfer_us()
+        assert model.retry_read_us(5, 1) == pytest.approx(expected)
+        assert model.retry_read_us(5, 3) == pytest.approx(3 * expected)
+
+    def test_retries_inherit_page_asymmetry(self):
+        model = LatencyModel(tiny_spec(speed_ratio=4.0))
+        last = tiny_spec().pages_per_block - 1
+        assert model.retry_read_us(0, 2) > model.retry_read_us(last, 2)

@@ -1,0 +1,176 @@
+"""Property-based tests for the reliability subsystem.
+
+Three properties anchor the subsystem's correctness:
+
+* RBER is monotone in retention age and in P/E cycles — the physical
+  invariant every downstream number (retries, refresh urgency) relies on;
+* refresh never loses or stales data — it reuses the GC relocation path,
+  and this re-proves the oracle property with refresh churn in the loop;
+* the uniform null model is *exactly* inert — attaching the reliability
+  stack with no variation and zero base RBER reproduces the latency-only
+  simulator's results bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ftl.conventional import ConventionalFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+from repro.reliability.refresh import RefreshPolicy
+from repro.sim.replay import replay_trace
+from repro.traces.workloads import UniformWorkload
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_manager(**overrides) -> ReliabilityManager:
+    device = NandDevice(tiny_spec())
+    return ReliabilityManager(device, ReliabilityConfig(**overrides))
+
+
+class TestRberMonotonicity:
+    @given(
+        age=st.floats(min_value=0.0, max_value=1e8),
+        delta=st.floats(min_value=0.0, max_value=1e8),
+        pbn=st.integers(min_value=0, max_value=63),
+        page=st.integers(min_value=0, max_value=15),
+    )
+    @settings(**_SETTINGS)
+    def test_rber_monotone_in_retention_age(self, age, delta, pbn, page):
+        manager = make_manager()
+        manager.note_program(pbn)
+        manager.advance_us(age * 1e6)
+        younger = manager.rber_of(pbn, page)
+        manager.advance_us(delta * 1e6)
+        older = manager.rber_of(pbn, page)
+        assert older >= younger
+
+    @given(
+        cycles=st.integers(min_value=0, max_value=5000),
+        extra=st.integers(min_value=1, max_value=5000),
+        pbn=st.integers(min_value=0, max_value=63),
+        page=st.integers(min_value=0, max_value=15),
+    )
+    @settings(**_SETTINGS)
+    def test_rber_monotone_in_pe_cycles(self, cycles, extra, pbn, page):
+        manager = make_manager()
+        for _ in range(cycles):
+            manager.note_erase(pbn)
+        manager.note_program(pbn)
+        fresh = manager.rber_of(pbn, page)
+        for _ in range(extra):
+            manager.note_erase(pbn)
+        manager.note_program(pbn)
+        worn = manager.rber_of(pbn, page)
+        assert worn >= fresh
+
+
+#: (op, lpn) random op streams; writes carry page-size payloads.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["w", "r", "t"]),
+        st.integers(min_value=0, max_value=127),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+class TestRefreshNeverLosesData:
+    @given(ops=OPS, age_days=st.integers(min_value=1, max_value=365))
+    @settings(**_SETTINGS)
+    def test_oracle_survives_refresh_churn(self, ops, age_days):
+        device = NandDevice(tiny_spec())
+        manager = ReliabilityManager(
+            device,
+            ReliabilityConfig(refresh_check_interval=1, refresh_min_age_s=60.0),
+        )
+        ftl = ConventionalFTL(
+            device, reliability=manager, refresh=RefreshPolicy(manager)
+        )
+        # Precondition: fill a third of the space, then shelf-age it so
+        # refresh has real work to do during the op stream.
+        for lpn in range(ftl.num_lpns // 3):
+            ftl.host_write(lpn)
+        manager.age_all(age_days * 86400.0)
+        oracle: dict[int, int] = {
+            lpn: ftl._op_sequence for lpn in range(ftl.num_lpns // 3)
+        }
+        for op, lpn in ops:
+            lpn = lpn % ftl.num_lpns
+            if op == "w":
+                ftl.host_write(lpn)
+                oracle[lpn] = ftl._op_sequence
+            elif op == "r":
+                ftl.host_read(lpn)
+            else:
+                ftl.trim(lpn)
+                oracle.pop(lpn, None)
+        ftl.check_invariants()
+        for lpn, _ in oracle.items():
+            ppn = ftl.map.ppn_of(lpn)
+            tag = ftl.device.tag(ppn)
+            assert tag is not None and tag[0] == lpn, (
+                f"LPN {lpn} lost or stale after refresh churn"
+            )
+
+
+class TestUniformNullModel:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        spec = self.spec()
+        return UniformWorkload(
+            num_requests=1500,
+            footprint_bytes=int(spec.logical_bytes * 0.7),
+            seed=11,
+        ).generate()
+
+    @staticmethod
+    def spec():
+        from repro.nand.spec import sim_spec
+
+        return sim_spec(blocks_per_chip=64)
+
+    @pytest.mark.parametrize("ftl_kind", ["conventional", "ppb"])
+    def test_null_model_reproduces_baseline_exactly(self, trace, ftl_kind):
+        spec = self.spec()
+        baseline = replay_trace(trace, spec, ftl_kind=ftl_kind)
+        nulled = replay_trace(
+            trace,
+            spec,
+            ftl_kind=ftl_kind,
+            reliability=ReliabilityConfig.null(),
+            retention_age_s=90 * 86400.0,
+        )
+        assert nulled.read_us == baseline.read_us
+        assert nulled.write_us == baseline.write_us
+        assert nulled.gc_us == baseline.gc_us
+        assert nulled.erase_count == baseline.erase_count
+        stats = nulled.ftl.reliability.stats  # type: ignore[attr-defined]
+        assert stats.retried_reads == 0
+        assert stats.uncorrectable_reads == 0
+
+    def test_null_model_with_refresh_stays_inert(self, trace):
+        """Zero RBER means nothing is ever due for refresh."""
+        spec = self.spec()
+        baseline = replay_trace(trace, spec, ftl_kind="conventional")
+        nulled = replay_trace(
+            trace,
+            spec,
+            ftl_kind="conventional",
+            reliability=ReliabilityConfig.null(),
+            refresh=True,
+            retention_age_s=90 * 86400.0,
+        )
+        assert nulled.read_us == baseline.read_us
+        assert nulled.erase_count == baseline.erase_count
+        stats = nulled.ftl.reliability.stats  # type: ignore[attr-defined]
+        assert stats.refresh_runs == 0

@@ -1,0 +1,79 @@
+"""Tests for the retention / wear-out RBER model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.reliability.retention import SECONDS_PER_HOUR, RetentionModel
+
+
+class TestRetentionFactor:
+    def test_fresh_data_is_unpenalized(self):
+        assert RetentionModel().retention_factor(0.0) == 1.0
+        assert RetentionModel().retention_factor(-5.0) == 1.0
+
+    def test_early_loss_is_fast(self):
+        """Most of the fast-phase amplitude lands within a few taus."""
+        model = RetentionModel(fast_amp=4.0, fast_tau_s=3600.0, slow_amp=0.0)
+        one_tau = model.retention_factor(3600.0)
+        ten_tau = model.retention_factor(36000.0)
+        assert one_tau - 1.0 > 0.6 * (ten_tau - 1.0)
+
+    def test_slow_phase_keeps_creeping(self):
+        model = RetentionModel(fast_amp=0.0, slow_amp=2.0, slow_tau_s=3600.0)
+        week = model.retention_factor(7 * 24 * 3600.0)
+        month = model.retention_factor(30 * 24 * 3600.0)
+        assert month > week
+
+    @given(
+        early=st.floats(min_value=0.0, max_value=1e8),
+        delta=st.floats(min_value=1e-3, max_value=1e8),
+    )
+    @settings(max_examples=80)
+    def test_monotone_in_age(self, early, delta):
+        model = RetentionModel()
+        assert model.retention_factor(early + delta) >= model.retention_factor(early)
+
+
+class TestPeFactor:
+    def test_fresh_block_is_unpenalized(self):
+        assert RetentionModel().pe_factor(0) == 1.0
+
+    def test_reference_point(self):
+        model = RetentionModel(pe_ref=100.0, pe_exponent=1.0)
+        assert model.pe_factor(100) == pytest.approx(2.0)
+
+    @given(pe=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60)
+    def test_monotone_in_cycles(self, pe):
+        model = RetentionModel()
+        assert model.pe_factor(pe + 1) >= model.pe_factor(pe) >= 1.0
+
+
+class TestCombinedFactor:
+    def test_combined_is_product(self):
+        model = RetentionModel()
+        age = 12 * SECONDS_PER_HOUR
+        assert model.combined_factor(age, 50) == pytest.approx(
+            model.retention_factor(age) * model.pe_factor(50)
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fast_amp": -1.0},
+            {"slow_amp": -0.5},
+            {"pe_exponent": -2.0},
+            {"fast_tau_s": 0.0},
+            {"slow_tau_s": -3.0},
+            {"pe_ref": 0.0},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetentionModel(**kwargs)
+
+    def test_describe_mentions_hours(self):
+        assert "h" in RetentionModel().describe()

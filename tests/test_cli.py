@@ -63,3 +63,46 @@ class TestFigure:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "99"])
+
+
+class TestReliability:
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "reliability",
+                "--workload", "web-sql",
+                "--requests", "1500",
+                "--blocks", "64",
+                "--speed-ratios", "2",
+                "--ages", "0,720",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "Retention/variation sweep" in out
+        assert "recovered" in out
+        assert "FAIL" not in out
+
+    def test_bad_float_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reliability", "--ages", "not,numbers"])
+
+    def test_bad_config_reports_cleanly(self, capsys):
+        assert main(["reliability", "--base-rber", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "base_rber" in err
+
+    def test_age_zero_only_sweep_is_valid(self, capsys):
+        """A null sweep must not fail age-dependent shape checks."""
+        code = main(
+            [
+                "reliability",
+                "--requests", "1500",
+                "--blocks", "64",
+                "--speed-ratios", "2",
+                "--ages", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "FAIL" not in out
