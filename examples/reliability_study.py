@@ -28,9 +28,9 @@ def show_layer_variation() -> None:
     spec = sim_spec(num_layers=8, pages_per_block=384)
     model = VariationModel(spec, block_sigma=0.0)
     print(model.describe())
+    labels = {0: " (top, slow)", 7: " (bottom, fast)"}
     print(ascii_bars(
-        [f"layer {layer}" + (" (top, slow)" if layer == 0 else " (bottom, fast)" if layer == 7 else "")
-         for layer in range(8)],
+        [f"layer {layer}" + labels.get(layer, "") for layer in range(8)],
         [float(m) for m in model.layer_multipliers],
         width=40,
         title="relative RBER by gate-stack layer (field-stress power law)",

@@ -4,6 +4,10 @@
 caches results so figures sharing cells (e.g. Figs. 13 and 16 use the
 same runs) pay once.  :mod:`repro.bench.figures` parameterizes the
 cells per paper artifact and renders paper-style reports.
+:mod:`repro.bench.memo` generalizes the memoization to arbitrary trace
+replays; the sweep scenarios (:mod:`repro.bench.reliability`,
+:mod:`repro.bench.placement`) build on it so their baselines never
+replay twice.
 """
 
 from repro.bench.experiment import (
@@ -14,6 +18,9 @@ from repro.bench.experiment import (
     FULL_SCALE,
     SMOKE_SCALE,
 )
+from repro.bench.memo import ReplayRunner, ReplaySpec
+from repro.bench.placement import PlacementSweepSpec, run_placement_sweep
+from repro.bench.reliability import ReliabilitySweepSpec, run_reliability_sweep
 from repro.bench.figures import (
     FigureReport,
     figure12,
@@ -33,6 +40,12 @@ __all__ = [
     "ExperimentRunner",
     "FULL_SCALE",
     "SMOKE_SCALE",
+    "ReplayRunner",
+    "ReplaySpec",
+    "PlacementSweepSpec",
+    "run_placement_sweep",
+    "ReliabilitySweepSpec",
+    "run_reliability_sweep",
     "FigureReport",
     "table1",
     "figure12",

@@ -1,0 +1,155 @@
+"""Memoized trace replays: never run the same simulation twice.
+
+:class:`~repro.bench.experiment.ExperimentRunner` memoizes *figure
+cells* because the paper's figures share underlying runs.  The sweep
+scenarios (``repro reliability``, ``repro placement``) have the same
+shape one level down: a sweep point varies one knob (retention age,
+placement weight) while its *baseline* replays — the latency-only
+reference, the speed-oblivious FTLs, pure-speed PPB — do not depend on
+that knob and would otherwise be replayed identically at every point.
+
+:class:`ReplaySpec` freezes every knob a replay can vary (the workload
+and its generator kwargs, the device geometry, the FTL and its PPB
+config, the reliability stack and pre-aging), making a replay hashable;
+:class:`ReplayRunner` executes specs on demand, caches traces by their
+generator parameters and results by the full spec, and counts hits and
+misses so the scenarios can *prove* no identical replay ran twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PPBConfig
+from repro.errors import ConfigError
+from repro.nand.spec import NandSpec, sim_spec
+from repro.reliability.manager import ReliabilityConfig
+from repro.sim.replay import replay_trace
+from repro.sim.ssd import RunResult
+from repro.traces.record import Trace
+from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
+
+#: workload name -> generator class (the shared registry).
+WORKLOADS = {
+    "media-server": MediaServerWorkload,
+    "web-sql": WebSqlWorkload,
+    "uniform": UniformWorkload,
+}
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """One fully-specified, hashable trace replay."""
+
+    workload: str = "web-sql"
+    num_requests: int = 8_000
+    blocks_per_chip: int = 96
+    page_size: int = 16 * 1024
+    speed_ratio: float = 2.0
+    latency_profile: str = "linear"
+    footprint_fraction: float = 0.80
+    seed: int = 42
+    ftl: str = "conventional"
+    #: extra generator kwargs as a sorted item tuple (hashable), e.g.
+    #: ``(("zipf_theta", 1.1),)`` for the hotness-skew axis.
+    workload_kwargs: tuple[tuple[str, float], ...] = ()
+    ppb: PPBConfig | None = None
+    reliability: ReliabilityConfig | None = None
+    refresh: bool = False
+    retention_age_s: float = 0.0
+    #: shelf-age-then-re-read phase (see ``replay_trace``).
+    reread_age_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; choose from {sorted(WORKLOADS)}"
+            )
+
+    def device_spec(self) -> NandSpec:
+        """The device this replay runs on."""
+        return sim_spec(
+            page_size=self.page_size,
+            speed_ratio=self.speed_ratio,
+            latency_profile=self.latency_profile,
+            blocks_per_chip=self.blocks_per_chip,
+        )
+
+    def trace_key(self) -> tuple:
+        """What the replayed trace depends on — deliberately *not* the
+        FTL, speed ratio or reliability knobs, so every variant at one
+        sweep point replays the byte-identical request stream."""
+        footprint = int(self.device_spec().logical_bytes * self.footprint_fraction)
+        return (
+            self.workload,
+            self.num_requests,
+            footprint,
+            self.seed,
+            self.workload_kwargs,
+        )
+
+    def with_(self, **changes: object) -> "ReplaySpec":
+        """A modified copy (convenience for sweeps)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass
+class ReplayMemoStats:
+    """Cache accounting for one runner."""
+
+    hits: int = 0
+    misses: int = 0
+    trace_builds: int = 0
+
+    @property
+    def replays_saved(self) -> int:
+        """Identical replays the cache absorbed."""
+        return self.hits
+
+
+class ReplayRunner:
+    """Executes :class:`ReplaySpec`\\ s with trace and result memoization."""
+
+    def __init__(self) -> None:
+        self._traces: dict[tuple, Trace] = {}
+        self._results: dict[ReplaySpec, RunResult] = {}
+        self.stats = ReplayMemoStats()
+
+    def trace_for(self, spec: ReplaySpec) -> Trace:
+        """The (cached) trace a spec replays."""
+        key = spec.trace_key()
+        if key not in self._traces:
+            generator = WORKLOADS[spec.workload](
+                num_requests=spec.num_requests,
+                footprint_bytes=key[2],
+                seed=spec.seed,
+                **dict(spec.workload_kwargs),
+            )
+            self._traces[key] = generator.generate()
+            self.stats.trace_builds += 1
+        return self._traces[key]
+
+    def run(self, spec: ReplaySpec) -> RunResult:
+        """Run (or fetch) one replay.
+
+        Cached results are shared objects: treat them as read-only.
+        """
+        if spec in self._results:
+            self.stats.hits += 1
+            return self._results[spec]
+        self.stats.misses += 1
+        result = replay_trace(
+            self.trace_for(spec),
+            spec.device_spec(),
+            ftl_kind=spec.ftl,
+            ppb_config=spec.ppb,
+            warm_fill_fraction=spec.footprint_fraction,
+            reliability=spec.reliability,
+            refresh=spec.refresh,
+            retention_age_s=spec.retention_age_s,
+            reread_age_s=spec.reread_age_s,
+        )
+        self._results[spec] = result
+        return result

@@ -25,20 +25,10 @@ from dataclasses import dataclass, field
 from repro.analysis.charts import ascii_matrix
 from repro.analysis.tables import format_pct
 from repro.bench.figures import FigureReport
+from repro.bench.memo import WORKLOADS, ReplayRunner, ReplaySpec
 from repro.errors import ConfigError
-from repro.nand.spec import NandSpec, sim_spec
 from repro.reliability.manager import ReliabilityConfig
 from repro.reliability.retention import SECONDS_PER_HOUR
-from repro.sim.replay import replay_trace
-from repro.traces.record import Trace
-from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
-
-#: workload name -> generator class (same registry as bench.experiment).
-_WORKLOADS = {
-    "media-server": MediaServerWorkload,
-    "web-sql": WebSqlWorkload,
-    "uniform": UniformWorkload,
-}
 
 #: Default sweep axes: fresh, one day, one month, three months of
 #: retention; both ends of the paper's speed-difference range.
@@ -60,14 +50,6 @@ class ReliabilitySweepSpec:
     footprint_fraction: float = 0.80
     seed: int = 42
     config: ReliabilityConfig = field(default_factory=ReliabilityConfig)
-
-    def spec_for(self, speed_ratio: float) -> NandSpec:
-        """The device spec for one sweep column."""
-        return sim_spec(
-            page_size=self.page_size,
-            speed_ratio=speed_ratio,
-            blocks_per_chip=self.blocks_per_chip,
-        )
 
 
 @dataclass
@@ -108,23 +90,46 @@ class ReliabilityPoint:
         return min(1.0, (self.aged_read_us - self.refresh_read_us) / penalty)
 
 
-def run_reliability_sweep(sweep: ReliabilitySweepSpec | None = None) -> FigureReport:
-    """Execute the sweep and package it as a figure-style report."""
+def run_reliability_sweep(
+    sweep: ReliabilitySweepSpec | None = None,
+    runner: ReplayRunner | None = None,
+) -> FigureReport:
+    """Execute the sweep and package it as a figure-style report.
+
+    Each point replays three variants (latency-only baseline, stack
+    without refresh, stack with refresh); the baseline does not depend
+    on retention age, so it is fetched from ``runner``'s memo for every
+    age after the first — pass a shared runner to extend that sharing
+    across sweeps.
+    """
     sweep = sweep or ReliabilitySweepSpec()
-    if sweep.workload not in _WORKLOADS:
+    if sweep.workload not in WORKLOADS:
         raise ConfigError(
-            f"unknown workload {sweep.workload!r}; choose from {sorted(_WORKLOADS)}"
+            f"unknown workload {sweep.workload!r}; choose from {sorted(WORKLOADS)}"
         )
-    trace = _trace_for(sweep)
+    runner = runner or ReplayRunner()
     points: list[ReliabilityPoint] = []
     for ratio in sweep.speed_ratios:
-        spec = sweep.spec_for(ratio)
-        base = _replay(trace, spec, sweep)
+        base_spec = ReplaySpec(
+            workload=sweep.workload,
+            num_requests=sweep.num_requests,
+            blocks_per_chip=sweep.blocks_per_chip,
+            page_size=sweep.page_size,
+            speed_ratio=ratio,
+            footprint_fraction=sweep.footprint_fraction,
+            seed=sweep.seed,
+            ftl=sweep.ftl,
+        )
         for age_hours in sweep.ages_hours:
             age_s = age_hours * SECONDS_PER_HOUR
-            aged = _replay(trace, spec, sweep, config=sweep.config, age_s=age_s)
-            refreshed = _replay(
-                trace, spec, sweep, config=sweep.config, age_s=age_s, refresh=True
+            base = runner.run(base_spec)
+            aged = runner.run(
+                base_spec.with_(reliability=sweep.config, retention_age_s=age_s)
+            )
+            refreshed = runner.run(
+                base_spec.with_(
+                    reliability=sweep.config, refresh=True, retention_age_s=age_s
+                )
             )
             aged_stats = aged.ftl.reliability.stats  # type: ignore[attr-defined]
             ref_stats = refreshed.ftl.reliability.stats  # type: ignore[attr-defined]
@@ -151,35 +156,6 @@ def run_reliability_sweep(sweep: ReliabilitySweepSpec | None = None) -> FigureRe
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
-
-def _trace_for(sweep: ReliabilitySweepSpec) -> Trace:
-    spec = sweep.spec_for(sweep.speed_ratios[0])
-    generator = _WORKLOADS[sweep.workload](
-        num_requests=sweep.num_requests,
-        footprint_bytes=int(spec.logical_bytes * sweep.footprint_fraction),
-        seed=sweep.seed,
-    )
-    return generator.generate()
-
-
-def _replay(
-    trace: Trace,
-    spec: NandSpec,
-    sweep: ReliabilitySweepSpec,
-    config: ReliabilityConfig | None = None,
-    age_s: float = 0.0,
-    refresh: bool = False,
-):
-    return replay_trace(
-        trace,
-        spec,
-        ftl_kind=sweep.ftl,
-        warm_fill_fraction=sweep.footprint_fraction,
-        reliability=config,
-        refresh=refresh,
-        retention_age_s=age_s,
-    )
-
 
 def _age_label(age_hours: float) -> str:
     if age_hours < 24.0:

@@ -10,6 +10,10 @@ Subcommands
     Sweep speed-ratio x retention-age through the reliability stack
     (process variation, retention RBER, ECC read-retry, refresh) and
     print the lifetime/latency trade-off report.
+``placement``
+    Sweep speed-ratio x hotness-skew across all three FTLs plus PPB at
+    several reliability weights, and print the speed-vs-lifetime
+    placement frontier.
 ``characterize``
     Print trace statistics for a synthetic workload (or an MSRC CSV).
 ``spec``
@@ -23,6 +27,13 @@ import sys
 
 from repro.bench.experiment import FULL_SCALE, SMOKE_SCALE, Cell, ExperimentRunner
 from repro.bench.figures import FIGURES
+from repro.bench.placement import (
+    DEFAULT_SKEWS,
+    DEFAULT_WEIGHTS,
+    SKEWABLE_WORKLOADS,
+    PlacementSweepSpec,
+    run_placement_sweep,
+)
 from repro.bench.reliability import (
     DEFAULT_AGES_HOURS,
     DEFAULT_SPEED_RATIOS,
@@ -79,7 +90,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweep speed-ratio x retention-age through the reliability stack",
     )
     rel.add_argument("--workload", choices=sorted(_WORKLOADS), default="web-sql")
-    rel.add_argument("--ftl", choices=["conventional", "ppb"], default="conventional")
+    rel.add_argument(
+        "--ftl", choices=["conventional", "fast", "ppb"], default="conventional"
+    )
     rel.add_argument("--requests", type=int, default=8_000)
     rel.add_argument("--blocks", type=int, default=96, help="blocks per chip")
     rel.add_argument(
@@ -103,6 +116,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=ReliabilityConfig().base_rber,
         help="RBER of a fresh median bottom-layer page",
     )
+
+    place = sub.add_parser(
+        "placement",
+        help="sweep speed-ratio x hotness-skew; the placement frontier across FTLs",
+    )
+    place.add_argument(
+        "--workload", choices=sorted(SKEWABLE_WORKLOADS), default="web-sql"
+    )
+    place.add_argument("--requests", type=int, default=8_000)
+    place.add_argument("--blocks", type=int, default=96, help="blocks per chip")
+    place.add_argument(
+        "--speed-ratios",
+        type=_float_list,
+        default=DEFAULT_SPEED_RATIOS,
+        metavar="R1,R2,...",
+        help="speed-difference sweep points (default: 2,4)",
+    )
+    place.add_argument(
+        "--skews",
+        type=_float_list,
+        default=DEFAULT_SKEWS,
+        metavar="T1,T2,...",
+        help="hotness-skew (Zipf theta in (0,1)) sweep points",
+    )
+    place.add_argument(
+        "--weights",
+        type=_float_list,
+        default=DEFAULT_WEIGHTS,
+        metavar="W1,W2,...",
+        help="reliability_weight values for PPB (must include 0)",
+    )
+    place.add_argument(
+        "--age",
+        type=float,
+        default=720.0,
+        help="shelf age (hours) between the fresh replay and the aged re-read",
+    )
+    place.add_argument("--seed", type=int, default=42)
 
     char = sub.add_parser("characterize", help="print trace statistics")
     char.add_argument("--workload", choices=sorted(_WORKLOADS), default=None)
@@ -140,6 +191,26 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         report = run_reliability_sweep(sweep)
     except ConfigError as exc:
         print(f"repro-flash reliability: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.all_checks_pass else 1
+
+
+def _cmd_placement(args: argparse.Namespace) -> int:
+    try:
+        sweep = PlacementSweepSpec(
+            workload=args.workload,
+            speed_ratios=tuple(args.speed_ratios),
+            skews=tuple(args.skews),
+            weights=tuple(args.weights),
+            num_requests=args.requests,
+            blocks_per_chip=args.blocks,
+            retention_age_hours=args.age,
+            seed=args.seed,
+        )
+        report = run_placement_sweep(sweep)
+    except ConfigError as exc:
+        print(f"repro-flash placement: error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
     return 0 if report.all_checks_pass else 1
@@ -193,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "reliability":
         return _cmd_reliability(args)
+    if args.command == "placement":
+        return _cmd_placement(args)
     if args.command == "characterize":
         return _cmd_characterize(args)
     if args.command == "spec":

@@ -17,11 +17,15 @@ hurting garbage collection:
   both sides are full).
 * :mod:`repro.core.areas` — hot/cold area managers tying trackers to
   placement decisions.
+* :mod:`repro.core.placement` — the reliability-aware placement policy
+  that prices fast pages' predicted RBER-at-horizon against their speed
+  gain (``PPBConfig.reliability_weight``).
 * :mod:`repro.core.ppb_ftl` — :class:`PPBFTL`, the full strategy on top
   of the shared FTL machinery.
 """
 
 from repro.core.config import PPBConfig
+from repro.core.placement import ReliabilityAwarePlacement
 from repro.core.hotness import Area, HotnessLevel
 from repro.core.identification import (
     FirstStageIdentifier,
@@ -54,5 +58,6 @@ __all__ = [
     "AreaAllocator",
     "HotArea",
     "ColdArea",
+    "ReliabilityAwarePlacement",
     "PPBFTL",
 ]

@@ -62,6 +62,22 @@ class PPBConfig:
     freq_aging_period: int = 100_000
     #: minimum absolute tracker capacities (useful on tiny test devices).
     min_list_entries: int = 16
+    #: weight of the predicted-reliability cost in placement decisions.
+    #: 0 (default) is the paper's pure-speed PPB: frequently-read data
+    #: always claims fast pages.  > 0 prices the fast (bottom-layer)
+    #: pages' higher predicted RBER-at-horizon against their speed gain
+    #: and diverts read-hot data to slow pages when the reliability cost
+    #: wins — the speed-vs-lifetime utility knob (needs an attached
+    #: reliability manager to have any effect).
+    reliability_weight: float = 0.0
+    #: retention horizon (seconds) at which placement predicts *cold*
+    #: data's RBER — write-once data sits this long before the policy's
+    #: imagined read.  Default: one week.
+    placement_horizon_s: float = 7 * 86400.0
+    #: per-block read count at which placement predicts *iron-hot*
+    #: data's RBER — rewritten-constantly data ages ~0 but its blocks
+    #: absorb this much read disturb (0 ignores disturb).
+    placement_horizon_reads: int = 0
 
     def __post_init__(self) -> None:
         if self.vb_split < 2:
@@ -96,6 +112,18 @@ class PPBConfig:
         if self.freq_aging_period < 0:
             raise ConfigError(
                 f"freq_aging_period must be >= 0, got {self.freq_aging_period}"
+            )
+        if self.reliability_weight < 0:
+            raise ConfigError(
+                f"reliability_weight must be >= 0, got {self.reliability_weight}"
+            )
+        if self.placement_horizon_s < 0:
+            raise ConfigError(
+                f"placement_horizon_s must be >= 0, got {self.placement_horizon_s}"
+            )
+        if self.placement_horizon_reads < 0:
+            raise ConfigError(
+                f"placement_horizon_reads must be >= 0, got {self.placement_horizon_reads}"
             )
 
     # ------------------------------------------------------------------

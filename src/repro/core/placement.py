@@ -1,0 +1,171 @@
+"""Reliability-aware placement: price fast pages' error risk.
+
+The paper's asymmetric-channel insight cuts both ways.  Bottom layers
+are *fast* because the tapered channel concentrates the electric field
+— and the same field stress makes them the most *error-prone* layers
+(see :mod:`repro.reliability.variation`).  Pure-speed PPB therefore
+concentrates the most frequently *read* data exactly where retention
+and read-disturb will hurt it most, and every host read of that data
+later pays ECC retry steps while the refresh engine burns erases
+relocating it.  Luo et al. (arXiv:1807.05140) show that placement which
+respects process variation recovers most of the lost lifetime.
+
+:class:`ReliabilityAwarePlacement` makes that trade-off explicit.  For
+a write that *wants* fast pages (iron-hot or cold data), it scores the
+two speed classes:
+
+* **speed gain** — the mean per-read array-latency advantage of the
+  fast class over the slow class (what the paper's PPB chases);
+* **reliability cost** — the difference in predicted per-read retry
+  latency between the classes at a configurable *horizon*: each class's
+  mean spatial RBER multiplier on the candidate open block, wear-scaled
+  by the block's P/E count, aged/disturbed to the horizon, pushed
+  through the ECC model and priced at the class's own read latency.
+
+The horizon is *per data class*, because the two kinds of read-hot data
+rot differently: **iron-hot** data is rewritten all the time (retention
+age stays near zero) but its blocks absorb reads, so its risk is
+read-disturb at ``horizon_reads``; **cold** data is written once and
+then sits, so its risk is retention at ``horizon_s`` with essentially
+no disturb.  Collapsing both into one combined horizon saturates the
+ECC model (every class needs max retries, and then fast pages' cheaper
+retries always win), which would blind the policy exactly where it
+matters.
+
+The write goes to the fast class iff
+
+    speed_gain >= weight * (risk_fast - risk_slow)
+
+``weight`` is the utility knob (``PPBConfig.reliability_weight``).  At
+0 the decision degrades to pure-speed PPB *exactly* — the right side is
+zero and the left side is nonnegative — which the property tests assert
+byte-for-byte.  Because the risk term includes the candidate block's
+own lognormal process-variation multiplier and wear, the decision is
+per-block dynamic: hot data still claims fast pages on good blocks and
+diverts to slow pages on blocks whose fast half is predicted to rot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nand.latency import LatencyModel
+from repro.reliability.manager import ReliabilityManager
+
+
+class ReliabilityAwarePlacement:
+    """Scores speed classes by speed *and* predicted RBER-at-horizon."""
+
+    def __init__(
+        self,
+        manager: ReliabilityManager,
+        latency: LatencyModel,
+        vb_split: int = 2,
+        weight: float = 1.0,
+        horizon_s: float = 7 * 86400.0,
+        horizon_reads: int = 0,
+    ) -> None:
+        if weight < 0:
+            raise ConfigError(f"weight must be >= 0, got {weight}")
+        if horizon_s < 0:
+            raise ConfigError(f"horizon_s must be >= 0, got {horizon_s}")
+        if horizon_reads < 0:
+            raise ConfigError(f"horizon_reads must be >= 0, got {horizon_reads}")
+        self.manager = manager
+        self.latency = latency
+        self.weight = float(weight)
+        self.horizon_s = float(horizon_s)
+        self.horizon_reads = int(horizon_reads)
+        spec = manager.spec
+        pages = spec.pages_per_block
+        # The fast classes are the VB slices with index >= (split+1)//2
+        # (see repro.core.virtual_block.VirtualBlock.is_fast); everything
+        # below that boundary is the slow half of the binary decision.
+        boundary = (vb_split + 1) // 2 * pages // vb_split
+        slow = np.arange(0, boundary)
+        fast = np.arange(boundary, pages)
+        #: mean array-read latency (us) per speed class.
+        self._mean_read_us = {
+            False: float(latency.read_us_by_page[slow].mean()),
+            True: float(latency.read_us_by_page[fast].mean()),
+        }
+        #: mean layer RBER multiplier per speed class.
+        self._mean_var_mult = {
+            False: float(manager.variation.page_multipliers[slow].mean()),
+            True: float(manager.variation.page_multipliers[fast].mean()),
+        }
+        #: representative page index per class (middle of the class),
+        #: used to price retry steps with the class's own latency.
+        self._rep_page = {
+            False: int(slow[len(slow) // 2]),
+            True: int(fast[len(fast) // 2]),
+        }
+        #: decisions taken (diagnostics).
+        self.fast_choices = 0
+        self.slow_diverts = 0
+
+    # ------------------------------------------------------------------
+
+    def prefer_fast(
+        self,
+        fast_pbn: int | None = None,
+        slow_pbn: int | None = None,
+        hot: bool = False,
+    ) -> bool:
+        """Whether read-hot data should claim the fast class right now.
+
+        ``fast_pbn``/``slow_pbn`` are the physical blocks the next write
+        of each class would land on (None = a fresh, median block).
+        ``hot`` selects the prediction horizon: True for iron-hot data
+        (near-zero retention age, ``horizon_reads`` of disturb), False
+        for cold data (``horizon_s`` of retention, negligible disturb).
+        """
+        if hot:
+            age_s, reads = 0.0, self.horizon_reads
+        else:
+            age_s, reads = self.horizon_s, 0
+        speed_gain = self._mean_read_us[False] - self._mean_read_us[True]
+        risk = self.weight * (
+            self._risk_us(True, fast_pbn, age_s, reads)
+            - self._risk_us(False, slow_pbn, age_s, reads)
+        )
+        if speed_gain >= risk:
+            self.fast_choices += 1
+            return True
+        self.slow_diverts += 1
+        return False
+
+    def _risk_us(
+        self, is_fast: bool, pbn: int | None, age_s: float, reads: int
+    ) -> float:
+        """Predicted per-read retry latency (us) of a class at horizon."""
+        manager = self.manager
+        if pbn is not None:
+            block_mult = float(manager.variation.block_multipliers[pbn])
+            pe = manager.pe_cycles_of(pbn)
+        else:
+            block_mult = 1.0
+            pe = 0
+        rber = (
+            manager.config.base_rber
+            * block_mult
+            * self._mean_var_mult[is_fast]
+            * manager.retention.combined_factor(age_s, pe)
+        )
+        if reads:
+            rber *= manager.disturb.factor(reads)
+        steps, uncorrectable = manager.ecc.retries_needed(rber)
+        extra = self.latency.retry_read_us(self._rep_page[is_fast], steps)
+        if uncorrectable:
+            extra += manager.config.uncorrectable_penalty_us
+        return extra
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"ReliabilityAwarePlacement(weight={self.weight:.2f}, "
+            f"horizon={self.horizon_s / 86400.0:.1f}d, "
+            f"horizon_reads={self.horizon_reads}, "
+            f"gain={self._mean_read_us[False] - self._mean_read_us[True]:.1f}us)"
+        )

@@ -25,6 +25,7 @@ from repro.core.areas import ColdArea, HotArea
 from repro.core.config import PPBConfig
 from repro.core.hotness import Area, HotnessLevel
 from repro.core.identification import FirstStageIdentifier, make_identifier
+from repro.core.placement import ReliabilityAwarePlacement
 from repro.core.vblists import AreaAllocator
 from repro.core.virtual_block import VirtualBlockManager
 from repro.errors import VirtualBlockError
@@ -94,6 +95,18 @@ class PPBFTL(BaseFTL):
             )
         #: promoted pages awaiting migration to fast pages at next GC.
         self._migration_queue: deque[int] = deque()
+        #: optional reliability-aware placement scorer (needs a manager
+        #: and a nonzero weight; None = the paper's pure-speed PPB).
+        self.placement: ReliabilityAwarePlacement | None = None
+        if reliability is not None and self.config.reliability_weight > 0:
+            self.placement = ReliabilityAwarePlacement(
+                reliability,
+                device.latency,
+                vb_split=self.config.vb_split,
+                weight=self.config.reliability_weight,
+                horizon_s=self.config.placement_horizon_s,
+                horizon_reads=self.config.placement_horizon_reads,
+            )
 
     # ------------------------------------------------------------------
     # Classification
@@ -135,7 +148,29 @@ class PPBFTL(BaseFTL):
             level = self._classify_write(lpn, ctx.nbytes)
             self.stats.bump(f"ppb.host_place.{level.label}")
         allocator = self.allocators[level.area]
-        return allocator.alloc_page(level.wants_fast_pages)
+        return allocator.alloc_page(self._wants_fast(level, allocator))
+
+    def _wants_fast(self, level: HotnessLevel, allocator: AreaAllocator) -> bool:
+        """The level's speed class, after the reliability-aware veto.
+
+        Pure-speed PPB (no placement policy, or ``reliability_weight``
+        0) is exactly ``level.wants_fast_pages``.  With a policy, a
+        fast-wanting write may be diverted to the slow class when the
+        candidate fast block's predicted RBER-at-horizon outweighs its
+        speed gain.
+        """
+        if not level.wants_fast_pages:
+            return False
+        if self.placement is None:
+            return True
+        if self.placement.prefer_fast(
+            allocator.peek_pbn(True),
+            allocator.peek_pbn(False),
+            hot=level.area is Area.HOT,
+        ):
+            return True
+        self.stats.bump("ppb.reliability_diverts")
+        return False
 
     def _all_allocators(self) -> list[AreaAllocator]:
         allocators = list(self.allocators.values())
@@ -226,9 +261,16 @@ class PPBFTL(BaseFTL):
         so foreground writes never pay for it.
         """
         batch = self.config.gc_migration_batch
-        if not batch or self.blocks.free_count <= 2:
+        if not batch or not self._migration_queue or self.blocks.free_count <= 2:
             return 0.0
         cold_alloc = self.allocators[Area.COLD]
+        # The reliability-aware policy vetoes migration the same way it
+        # vetoes host placement: no point paying a copy to move data
+        # onto fast pages it would currently divert away from.
+        if self.placement is not None and not self.placement.prefer_fast(
+            cold_alloc.peek_pbn(True), cold_alloc.peek_pbn(False)
+        ):
+            return 0.0
         half = self.spec.pages_per_block // 2
         latency = 0.0
         moved = 0
@@ -268,6 +310,9 @@ class PPBFTL(BaseFTL):
         for area, allocator in self.allocators.items():
             report[f"ppb.{area.value}.diverted_writes"] = allocator.diverted_writes
             report[f"ppb.{area.value}.pairs_opened"] = allocator.pairs_opened
+        if self.placement is not None:
+            report["ppb.placement.fast_choices"] = self.placement.fast_choices
+            report["ppb.placement.slow_diverts"] = self.placement.slow_diverts
         report["ppb.lru.promotions"] = self.hot_area.lru.promotions
         report["ppb.lru.demotions_to_hot"] = self.hot_area.lru.demotions_to_hot
         report["ppb.lru.evictions"] = self.hot_area.lru.evictions

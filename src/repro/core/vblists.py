@@ -194,6 +194,25 @@ class AreaAllocator:
     # Introspection / GC support
     # ------------------------------------------------------------------
 
+    def peek_pbn(self, is_fast: bool) -> int | None:
+        """The block the class's next write would land on, side-effect-free.
+
+        Returns None when serving the class would open a fresh pair (the
+        reliability-aware placement then scores a median block).  Unlike
+        :meth:`_usable`, this never pops the pending queue.
+        """
+        active = self._active[is_fast]
+        if (
+            active is not None
+            and active.state is VBState.ALLOCATED
+            and self.device.next_page(active.pbn) < active.end_page
+        ):
+            return active.pbn
+        pending = self._pending[is_fast]
+        if pending:
+            return pending[0].pbn
+        return None
+
     def active_pbns(self) -> set[int]:
         """Blocks with an open or pending VB (excluded from GC victims)."""
         pbns = {vb.pbn for vb in self._active.values() if vb is not None}

@@ -20,11 +20,14 @@ from repro.ftl.fast import FastFTL
 from repro.ftl.gc import GreedyVictimPolicy, CostBenefitVictimPolicy, RandomVictimPolicy
 from repro.ftl.mapping import PageMapTable
 from repro.ftl.blockinfo import BlockManager, BlockState
+from repro.ftl.reliability_hooks import ReliabilityHost, ReliableFtl
 from repro.ftl.stats import FtlStats
 from repro.ftl.wear import WearLeveler
 
 __all__ = [
     "BaseFTL",
+    "ReliabilityHost",
+    "ReliableFtl",
     "WriteContext",
     "ConventionalFTL",
     "FastFTL",

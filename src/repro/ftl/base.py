@@ -29,6 +29,7 @@ from repro.errors import OutOfSpaceError
 from repro.ftl.blockinfo import BlockManager
 from repro.ftl.gc import GreedyVictimPolicy, VictimPolicy
 from repro.ftl.mapping import UNMAPPED, PageMapTable
+from repro.ftl.reliability_hooks import ReliabilityHost
 from repro.ftl.stats import FtlStats
 from repro.nand.device import NandDevice
 
@@ -50,7 +51,7 @@ class WriteContext:
     is_gc: bool = False
 
 
-class BaseFTL:
+class BaseFTL(ReliabilityHost):
     """Shared FTL machinery; see module docstring for the contract."""
 
     #: human-readable design name, overridden by subclasses.
@@ -66,11 +67,7 @@ class BaseFTL:
         refresh: "RefreshPolicy | None" = None,
     ) -> None:
         self.device = device
-        #: optional reliability engine (None = latency-only simulation,
-        #: byte-for-byte identical to the pre-reliability code path).
-        self.reliability = reliability
-        #: optional retention-aware refresh policy (needs ``reliability``).
-        self.refresh = refresh
+        self._init_reliability(reliability, refresh)
         self.spec = device.spec
         self.geometry = device.geometry
         self.num_lpns = self.spec.logical_pages
@@ -108,14 +105,11 @@ class BaseFTL:
             self.stats.unmapped_reads += 1
             return 0.0
         latency = self.device.read_ppn(ppn)
-        if self.reliability is not None:
-            latency += self.reliability.on_host_read(ppn)
+        latency += self._reliability_read_penalty(ppn)
         self.stats.host_read_pages += 1
         self.stats.host_read_us += latency
         self._on_host_read(lpn, ppn)
-        if self.reliability is not None:
-            self.reliability.advance_us(latency)
-            self._maybe_refresh()
+        self._reliability_tick(latency)
         return latency
 
     def host_write(self, lpn: int, nbytes: int | None = None) -> float:
@@ -138,9 +132,7 @@ class BaseFTL:
         self.stats.host_write_us += latency
         self._note_if_full(ppn)
         self._on_host_write(lpn, ppn, ctx)
-        if self.reliability is not None:
-            self.reliability.advance_us(latency + gc_latency)
-            self._maybe_refresh()
+        self._reliability_tick(latency + gc_latency)
         return latency + gc_latency
 
     def trim(self, lpn: int) -> None:
@@ -161,8 +153,7 @@ class BaseFTL:
         pbn = self.geometry.pbn_of_ppn(ppn)
         old_ppn = self.map.remap(lpn, ppn)
         self.blocks.note_program_valid(pbn)
-        if self.reliability is not None:
-            self.reliability.note_program(pbn)
+        self._reliability_note_program(pbn)
         if old_ppn != UNMAPPED:
             self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old_ppn))
 
@@ -241,46 +232,22 @@ class BaseFTL:
         latency += erase_us
         self.blocks.note_erased(victim)
         self.victim_policy.note_block_erased(victim)
-        if self.reliability is not None:
-            self.reliability.note_erase(victim)
+        self._reliability_note_erase(victim)
         self._on_erase(victim)
         self.blocks.release(victim)
         return latency
 
     # ------------------------------------------------------------------
-    # Retention-aware refresh driver
+    # ReliabilityHost contract: refresh rides the GC relocation path
     # ------------------------------------------------------------------
 
-    def _maybe_refresh(self) -> float:
-        """Run the refresh policy if a scan is due; returns its latency.
+    def _refresh_block(self, pbn: int) -> float:
+        """Refresh = GC-collect the block (relocate live pages, erase)."""
+        return self._collect(pbn)
 
-        Refresh reuses :meth:`_collect` for the relocation mechanics, so
-        it inherits the GC path's data-integrity guarantees and, under
-        PPB, re-places refreshed data according to its *current*
-        hot/cold classification.  Refresh work is deliberately *not*
-        folded into host latencies: a real controller schedules it in
-        the background, and the scenario reports it separately (like GC
-        time) so the lifetime/latency trade-off stays visible.
-        """
-        refresh = self.refresh
-        if refresh is None or self.reliability is None:
-            return 0.0
-        if not refresh.is_check_due(self._op_sequence):
-            return 0.0
-        total = 0.0
-        for pbn in refresh.due_blocks(self.blocks, exclude=self._active_blocks()):
-            # Never refresh into space pressure: GC must keep priority
-            # over background work, or refresh could trigger GC storms.
-            if self.blocks.free_count <= self.gc_low_blocks:
-                break
-            copied_before = self.stats.gc_copied_pages
-            latency = self._collect(pbn)
-            self.reliability.note_refresh(
-                self.stats.gc_copied_pages - copied_before, latency
-            )
-            self.reliability.advance_us(latency)
-            total += latency
-        return total
+    def _refresh_headroom(self) -> int:
+        """Refresh never eats into the GC reserve."""
+        return self.gc_low_blocks
 
     # ------------------------------------------------------------------
     # Subclass contract

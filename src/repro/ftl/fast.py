@@ -23,26 +23,48 @@ Reads consult the page map, which always points at the newest copy
 (data block or log).  The same :class:`~repro.ftl.mapping.PageMapTable`
 and :class:`~repro.ftl.blockinfo.BlockManager` used by the page-mapping
 FTLs back this implementation, so all invariants remain checkable.
+
+FAST also hosts the reliability stack through the shared
+:class:`~repro.ftl.reliability_hooks.ReliabilityHost` protocol: reads
+pay ECC retry penalties, programs/erases drive the retention and wear
+clocks, and refresh relocates at-risk blocks through the *merge*
+machinery (a data block refreshes via a full merge of its LBN; a full
+random log block refreshes via the same multi-LBN merge that reclaims
+it), so refresh inherits the data-integrity guarantees the merge tests
+already prove.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.errors import FtlError, OutOfSpaceError
 from repro.ftl.blockinfo import BlockManager
 from repro.ftl.mapping import UNMAPPED, PageMapTable
+from repro.ftl.reliability_hooks import ReliabilityHost
 from repro.ftl.stats import FtlStats
 from repro.nand.device import NandDevice
 
+if TYPE_CHECKING:  # imported lazily to keep repro.ftl free of cycles
+    from repro.reliability.manager import ReliabilityManager
+    from repro.reliability.refresh import RefreshPolicy
 
-class FastFTL:
+
+class FastFTL(ReliabilityHost):
     """Hybrid log-buffer FTL with switch / partial / full merges."""
 
     name = "fast"
 
-    def __init__(self, device: NandDevice, num_log_blocks: int | None = None) -> None:
+    def __init__(
+        self,
+        device: NandDevice,
+        num_log_blocks: int | None = None,
+        reliability: "ReliabilityManager | None" = None,
+        refresh: "RefreshPolicy | None" = None,
+    ) -> None:
         self.device = device
+        self._init_reliability(reliability, refresh)
         self.spec = device.spec
         self.geometry = device.geometry
         self.num_lpns = self.spec.logical_pages
@@ -70,7 +92,11 @@ class FastFTL:
     # ------------------------------------------------------------------
 
     def host_read(self, lpn: int) -> float:
-        """Service a one-page host read; returns latency in microseconds."""
+        """Service a one-page host read; returns latency in microseconds.
+
+        With a reliability engine attached, the returned latency also
+        carries any ECC read-retry penalty of the physical page.
+        """
         self.map.check_lpn(lpn)
         self._op_sequence += 1
         ppn = self.map.ppn_of(lpn)
@@ -78,8 +104,10 @@ class FastFTL:
             self.stats.unmapped_reads += 1
             return 0.0
         latency = self.device.read_ppn(ppn)
+        latency += self._reliability_read_penalty(ppn)
         self.stats.host_read_pages += 1
         self.stats.host_read_us += latency
+        self._reliability_tick(latency)
         return latency
 
     def host_write(self, lpn: int, nbytes: int | None = None) -> float:
@@ -102,6 +130,7 @@ class FastFTL:
             merge_latency += extra
         self.stats.host_write_pages += 1
         self.stats.host_write_us += latency
+        self._reliability_tick(latency + merge_latency)
         return latency + merge_latency
 
     def trim(self, lpn: int) -> None:
@@ -210,7 +239,10 @@ class FastFTL:
 
     def _merge_oldest_log(self) -> float:
         """Full-merge every LBN with live pages in the oldest log block."""
-        victim = self._log_fifo.popleft()
+        return self._merge_log_block(self._log_fifo.popleft())
+
+    def _merge_log_block(self, victim: int) -> float:
+        """Reclaim one full random log block (caller removed it from the FIFO)."""
         latency = 0.0
         ppn_range = self.geometry.ppn_range_of_pbn(victim)
         lbns = sorted(
@@ -282,6 +314,7 @@ class FastFTL:
         pbn = self.geometry.pbn_of_ppn(ppn)
         old = self.map.remap(lpn, ppn)
         self.blocks.note_program_valid(pbn)
+        self._reliability_note_program(pbn)
         if old != UNMAPPED:
             self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old))
 
@@ -302,6 +335,7 @@ class FastFTL:
         self.stats.erase_count += 1
         self.stats.erase_us += latency
         self.blocks.note_erased(pbn)
+        self._reliability_note_erase(pbn)
         self.blocks.release(pbn)
         return latency
 
@@ -309,6 +343,41 @@ class FastFTL:
         if self.blocks.free_count == 0:
             raise OutOfSpaceError("fast: free block pool exhausted")
         return self.blocks.allocate()
+
+    # ------------------------------------------------------------------
+    # ReliabilityHost contract: refresh rides the merge machinery
+    # ------------------------------------------------------------------
+
+    def _active_blocks(self) -> set[int]:
+        """Blocks currently open for writing (never refresh victims)."""
+        active: set[int] = set()
+        if self._active_log is not None:
+            active.add(self._active_log)
+        if self._seq_log is not None:
+            active.add(self._seq_log[0])
+        return active
+
+    def _refresh_headroom(self) -> int:
+        """A merge transiently allocates one block; keep one spare."""
+        return 1
+
+    def _refresh_block(self, pbn: int) -> float:
+        """Rewrite ``pbn``'s live data through the merge paths and erase it.
+
+        A *data block* refreshes via a full merge of its LBN (the merge
+        rebuilds the logical block elsewhere and retires ``pbn``); a
+        FIFO'd *random log block* refreshes via the same multi-LBN merge
+        that normally reclaims the oldest log — just targeted early.
+        Any other FULL block (e.g. one emptied by concurrent merges) has
+        no live data to protect and is skipped.
+        """
+        for lbn, data_pbn in self._data_block.items():
+            if data_pbn == pbn:
+                return self._full_merge(lbn)
+        if pbn in self._log_fifo:
+            self._log_fifo.remove(pbn)
+            return self._merge_log_block(pbn)
+        return 0.0
 
     # ------------------------------------------------------------------
     # Verification helpers

@@ -1,0 +1,172 @@
+"""FTL-agnostic reliability hosting: the hook protocol and mixin.
+
+PR 1 grew the reliability stack (process variation, retention RBER, ECC
+read-retry, refresh) inside :class:`~repro.ftl.base.BaseFTL`, which left
+the non-BaseFTL designs — notably :class:`~repro.ftl.fast.FastFTL` —
+outside it.  This module extracts the coupling points into two pieces
+any FTL can adopt:
+
+:class:`ReliableFtl` (a :class:`typing.Protocol`)
+    What the *outside world* (replay driver, benches, tests) may assume
+    of an FTL that hosts the reliability stack: the ``reliability`` and
+    ``refresh`` attributes, and the usual host API.
+
+:class:`ReliabilityHost` (a mixin)
+    What an FTL *implementation* inherits to become such a host.  It
+    owns the two attributes and provides the four call-sites the stack
+    needs — read penalty, program/erase lifecycle notes, and the clock
+    tick that also drives the refresh scan.  Every hook no-ops when no
+    manager is attached, so an FTL built without one is byte-for-byte
+    the latency-only simulator (the acceptance property the tests pin).
+
+Host contract
+-------------
+The mixin leans on state every FTL in this repository already carries:
+
+``self.blocks``
+    A :class:`~repro.ftl.blockinfo.BlockManager` (refresh candidates).
+``self.stats``
+    An :class:`~repro.ftl.stats.FtlStats` (``gc_copied_pages`` measures
+    refresh relocation work).
+``self._op_sequence``
+    The logical op clock (refresh scan cadence).
+
+and on three methods the concrete FTL must provide:
+
+``_refresh_block(pbn)``
+    Relocate the block's live pages elsewhere and erase it, returning
+    the latency spent.  BaseFTL routes this to its GC ``_collect``;
+    FastFTL routes it to its merge machinery.
+``_active_blocks()``
+    Blocks currently open for writing (never refresh victims).
+``_refresh_headroom()``
+    Free-pool floor below which refresh must yield to reclamation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # imported lazily to keep repro.ftl free of cycles
+    from repro.reliability.manager import ReliabilityManager
+    from repro.reliability.refresh import RefreshPolicy
+
+
+@runtime_checkable
+class ReliableFtl(Protocol):
+    """An FTL that can host the reliability stack (duck-typed)."""
+
+    name: str
+    num_lpns: int
+    reliability: "ReliabilityManager | None"
+    refresh: "RefreshPolicy | None"
+
+    def host_read(self, lpn: int) -> float: ...
+
+    def host_write(self, lpn: int, nbytes: int | None = None) -> float: ...
+
+    def check_invariants(self) -> None: ...
+
+
+class ReliabilityHost:
+    """Mixin providing the reliability/refresh call-sites for an FTL."""
+
+    #: optional reliability engine (None = latency-only simulation,
+    #: byte-for-byte identical to the pre-reliability code path).
+    reliability: "ReliabilityManager | None"
+    #: optional refresh policy (needs ``reliability`` to do anything).
+    refresh: "RefreshPolicy | None"
+
+    def _init_reliability(
+        self,
+        reliability: "ReliabilityManager | None",
+        refresh: "RefreshPolicy | None",
+    ) -> None:
+        """Attach (or detach, with Nones) the reliability stack."""
+        self.reliability = reliability
+        self.refresh = refresh
+
+    # ------------------------------------------------------------------
+    # Per-operation hooks (call-sites inside the concrete FTL)
+    # ------------------------------------------------------------------
+
+    def _reliability_read_penalty(self, ppn: int) -> float:
+        """ECC retry/recovery latency (us) a host read of ``ppn`` pays."""
+        if self.reliability is None:
+            return 0.0
+        return self.reliability.on_host_read(ppn)
+
+    def _reliability_note_program(self, pbn: int) -> None:
+        """A live page was programmed into ``pbn`` (retention stamp)."""
+        if self.reliability is not None:
+            self.reliability.note_program(pbn)
+
+    def _reliability_note_erase(self, pbn: int) -> None:
+        """Block ``pbn`` was erased (P/E count, clocks reset)."""
+        if self.reliability is not None:
+            self.reliability.note_erase(pbn)
+
+    def _reliability_tick(self, latency_us: float) -> None:
+        """Advance the simulation clock and run any due refresh scan.
+
+        Call once per host operation with the operation's total latency;
+        this is what turns op latencies into retention age.
+        """
+        if self.reliability is None:
+            return
+        self.reliability.advance_us(latency_us)
+        self._maybe_refresh()
+
+    # ------------------------------------------------------------------
+    # Refresh driver (shared across all hosting FTLs)
+    # ------------------------------------------------------------------
+
+    def _maybe_refresh(self) -> float:
+        """Run the refresh policy if a scan is due; returns its latency.
+
+        Refresh reuses each FTL's own relocation mechanics (GC collect
+        for the page-mapping designs, merges for FAST) via
+        :meth:`_refresh_block`, so it inherits the data-integrity
+        guarantees those paths already prove — and, under PPB, re-places
+        refreshed data according to its *current* classification.
+        Refresh work is deliberately *not* folded into host latencies: a
+        real controller schedules it in the background, and the
+        scenarios report it separately (like GC time) so the
+        lifetime/latency trade-off stays visible.
+        """
+        refresh = self.refresh
+        if refresh is None or self.reliability is None:
+            return 0.0
+        if not refresh.is_check_due(self._op_sequence):
+            return 0.0
+        total = 0.0
+        for pbn in refresh.due_blocks(self.blocks, exclude=self._active_blocks()):
+            # Never refresh into space pressure: reclamation must keep
+            # priority over background work, or refresh could trigger
+            # GC/merge storms.
+            if self.blocks.free_count <= self._refresh_headroom():
+                break
+            copied_before = self.stats.gc_copied_pages
+            latency = self._refresh_block(pbn)
+            self.reliability.note_refresh(
+                self.stats.gc_copied_pages - copied_before, latency
+            )
+            self.reliability.advance_us(latency)
+            total += latency
+        return total
+
+    # ------------------------------------------------------------------
+    # Host contract (implemented by the concrete FTL)
+    # ------------------------------------------------------------------
+
+    def _refresh_block(self, pbn: int) -> float:
+        """Relocate ``pbn``'s live data and erase it; returns latency."""
+        raise NotImplementedError
+
+    def _active_blocks(self) -> set[int]:
+        """Blocks currently OPEN for writing (never refresh victims)."""
+        raise NotImplementedError
+
+    def _refresh_headroom(self) -> int:
+        """Free-block floor refresh must not eat into (default: 1)."""
+        return 1

@@ -20,6 +20,10 @@ model that composes with the existing simulator:
 :mod:`repro.reliability.retention`
     Retention-driven RBER growth with the fast/slow two-phase decay of
     early retention loss, and a P/E-cycling wear-out factor.
+:mod:`repro.reliability.disturb`
+    Read-disturb accumulation: per-block RBER growth with reads since
+    the last erase, reset by every erase, and a second refresh trigger
+    alongside retention age.
 :mod:`repro.reliability.ecc`
     An ECC + read-retry model mapping instantaneous RBER to the number
     of re-sensing retry steps (extra read latency) and, past the retry
@@ -42,6 +46,7 @@ CLI subcommand.
 
 from __future__ import annotations
 
+from repro.reliability.disturb import ReadDisturbModel
 from repro.reliability.ecc import EccModel
 from repro.reliability.manager import (
     ReliabilityConfig,
@@ -54,6 +59,7 @@ from repro.reliability.variation import VARIATION_PROFILES, VariationModel
 
 __all__ = [
     "EccModel",
+    "ReadDisturbModel",
     "RefreshPolicy",
     "ReliabilityConfig",
     "ReliabilityManager",

@@ -1,0 +1,86 @@
+"""Read-disturb accumulation: reads slowly corrupt their neighbors.
+
+Sensing one page applies a pass-through voltage to every *other* word
+line of the block, weakly programming those cells; over many reads the
+accumulated shift raises the block's raw bit error rate until an erase
+resets it.  STAR (arXiv:2511.06249) shows such read-path effects are
+first-order at modern capacities, and read-disturb is the classic
+reason hot *read* data needs periodic relocation even though it is
+never rewritten — exactly the data PPB parks on fast pages.
+
+The model is block-granular, matching how controllers track it: every
+host read of a block counts one disturb event against that block, and
+the block's RBER multiplier grows polynomially with the count:
+
+    factor(n) = 1 + coeff_per_kread * (n / 1000) ** exponent
+
+so ``factor(0) == 1`` (a freshly-erased block is undisturbed), the
+factor is monotone in the read count, and an erase — GC, merge, or
+refresh — resets it.  ``coeff_per_kread == 0`` disables the mechanism
+entirely, which keeps the PR 1 reliability numbers (and the null-model
+byte-for-byte equivalence) unchanged by default.
+
+The stateful read counters live in
+:class:`~repro.reliability.manager.ReliabilityManager`; this module is
+the pure model, mirroring the variation/retention/ecc split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ReadDisturbModel:
+    """RBER multiplier from reads accumulated since the last erase.
+
+    Parameters
+    ----------
+    coeff_per_kread:
+        Multiplier growth per (thousand reads) ** ``exponent``.  0
+        disables read disturb (factor is identically 1.0).
+    exponent:
+        Shape of the growth curve; 1.0 is linear, > 1 models the
+        accelerating tail observed near a block's read limit.
+    """
+
+    def __init__(self, coeff_per_kread: float = 0.0, exponent: float = 1.0) -> None:
+        if coeff_per_kread < 0:
+            raise ConfigError(
+                f"coeff_per_kread must be >= 0, got {coeff_per_kread}"
+            )
+        if exponent <= 0:
+            raise ConfigError(f"exponent must be > 0, got {exponent}")
+        self.coeff_per_kread = float(coeff_per_kread)
+        self.exponent = float(exponent)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the mechanism is active (nonzero coefficient)."""
+        return self.coeff_per_kread > 0.0
+
+    def factor(self, reads: int | float | np.ndarray):
+        """RBER multiplier after ``reads`` disturb events (>= 1.0).
+
+        Accepts scalars or numpy arrays (vectorized triage paths); the
+        scalar path stays numpy-free because the manager calls it once
+        per checked host read.
+        """
+        if isinstance(reads, np.ndarray):
+            if not self.enabled:
+                return np.ones_like(reads, dtype=np.float64)
+            kilo = reads.astype(np.float64) / 1000.0
+            return 1.0 + self.coeff_per_kread * kilo**self.exponent
+        if not self.enabled:
+            return 1.0
+        return 1.0 + self.coeff_per_kread * (float(reads) / 1000.0) ** self.exponent
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        if not self.enabled:
+            return "ReadDisturbModel(off)"
+        return (
+            f"ReadDisturbModel(coeff={self.coeff_per_kread:.3g}/kread, "
+            f"exp={self.exponent:.2f})"
+        )

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.nand.device import NandDevice
+from repro.reliability.disturb import ReadDisturbModel
 from repro.reliability.ecc import EccModel
 from repro.reliability.retention import RetentionModel
 from repro.reliability.variation import VariationModel
@@ -49,6 +50,12 @@ class ReliabilityConfig:
     slow_tau_s: float = 86400.0
     pe_ref: float = 100.0
     pe_exponent: float = 1.0
+    # -- read disturb -------------------------------------------------------
+    #: RBER multiplier growth per (kiloread ** disturb_exponent) since
+    #: the block's last erase; 0 disables read disturb entirely (the
+    #: PR 1 behavior).
+    disturb_coeff: float = 0.0
+    disturb_exponent: float = 1.0
     # -- ECC / read-retry ---------------------------------------------------
     rber_limit: float = 1e-3
     retry_gain: float = 2.0
@@ -60,6 +67,10 @@ class ReliabilityConfig:
     refresh_check_interval: int = 128
     refresh_max_blocks_per_check: int = 4
     refresh_min_age_s: float = 3600.0
+    #: read count past which a block may be refreshed regardless of its
+    #: retention age — the read-disturb refresh trigger.  0 disables the
+    #: disturb gate (blocks then only qualify by age, as in PR 1).
+    refresh_disturb_reads: int = 0
 
     def __post_init__(self) -> None:
         if self.base_rber < 0:
@@ -76,6 +87,10 @@ class ReliabilityConfig:
             raise ConfigError(
                 "refresh_max_blocks_per_check must be >= 1, got "
                 f"{self.refresh_max_blocks_per_check}"
+            )
+        if self.refresh_disturb_reads < 0:
+            raise ConfigError(
+                f"refresh_disturb_reads must be >= 0, got {self.refresh_disturb_reads}"
             )
 
     @classmethod
@@ -167,6 +182,10 @@ class ReliabilityManager:
             retry_gain=cfg.retry_gain,
             max_retries=cfg.max_retries,
         )
+        self.disturb = ReadDisturbModel(
+            coeff_per_kread=cfg.disturb_coeff,
+            exponent=cfg.disturb_exponent,
+        )
         total_blocks = self.spec.total_blocks
         #: simulation clock in seconds, advanced by the owning FTL.
         self.now_s = 0.0
@@ -176,6 +195,8 @@ class ReliabilityManager:
         self._stamped = np.zeros(total_blocks, dtype=bool)
         #: program/erase cycles seen by this manager.
         self._pe_cycles = np.zeros(total_blocks, dtype=np.int64)
+        #: host reads of each block since its last erase (read disturb).
+        self._block_reads = np.zeros(total_blocks, dtype=np.int64)
         self.stats = ReliabilityStats()
         self._pages_per_block = self.spec.pages_per_block
 
@@ -194,9 +215,14 @@ class ReliabilityManager:
             self._program_time_s[pbn] = self.now_s
 
     def note_erase(self, pbn: int) -> None:
-        """Block ``pbn`` was erased; one more P/E cycle, clock cleared."""
+        """Block ``pbn`` was erased; one more P/E cycle, clocks cleared.
+
+        The erase also resets the block's read-disturb accumulation —
+        the physical cells are reprogrammed from scratch.
+        """
         self._pe_cycles[pbn] += 1
         self._stamped[pbn] = False
+        self._block_reads[pbn] = 0
 
     def age_all(self, extra_age_s: float) -> None:
         """Pre-age all currently-written data by ``extra_age_s`` seconds.
@@ -228,13 +254,20 @@ class ReliabilityManager:
         """P/E cycles the manager has seen for ``pbn``."""
         return int(self._pe_cycles[pbn])
 
+    def reads_of(self, pbn: int) -> int:
+        """Host reads of ``pbn`` since its last erase (disturb count)."""
+        return int(self._block_reads[pbn])
+
     def rber_of(self, pbn: int, page_index: int) -> float:
         """Instantaneous RBER of one physical page."""
         spatial = self.variation.multiplier(pbn, page_index)
         temporal = self.retention.combined_factor(
             self.age_of(pbn), self.pe_cycles_of(pbn)
         )
-        return self.config.base_rber * spatial * temporal
+        rber = self.config.base_rber * spatial * temporal
+        if self.disturb.enabled:
+            rber *= self.disturb.factor(int(self._block_reads[pbn]))
+        return rber
 
     def predicted_block_retries(self, pbn: int) -> tuple[int, bool]:
         """Retry steps the block's *worst* page would need right now."""
@@ -243,6 +276,8 @@ class ReliabilityManager:
             * self.variation.worst_page_multiplier(pbn)
             * self.retention.combined_factor(self.age_of(pbn), self.pe_cycles_of(pbn))
         )
+        if self.disturb.enabled:
+            rber *= self.disturb.factor(int(self._block_reads[pbn]))
         return self.ecc.retries_needed(rber)
 
     # ------------------------------------------------------------------
@@ -250,11 +285,16 @@ class ReliabilityManager:
     # ------------------------------------------------------------------
 
     def on_host_read(self, ppn: int) -> float:
-        """Retry/recovery latency penalty (us) for a host read of ``ppn``."""
+        """Retry/recovery latency penalty (us) for a host read of ``ppn``.
+
+        The read itself suffers the disturb accumulated by *prior*
+        reads, then counts as one more disturb event against its block.
+        """
         pbn, page = divmod(ppn, self._pages_per_block)
         stats = self.stats
         stats.checked_reads += 1
         rber = self.rber_of(pbn, page)
+        self._block_reads[pbn] += 1
         steps, uncorrectable = self.ecc.retries_needed(rber)
         if not steps and not uncorrectable:
             return 0.0
@@ -283,5 +323,5 @@ class ReliabilityManager:
         return (
             f"ReliabilityManager(base_rber={self.config.base_rber:.1e}, "
             f"{self.variation.describe()}, {self.retention.describe()}, "
-            f"{self.ecc.describe()})"
+            f"{self.disturb.describe()}, {self.ecc.describe()})"
         )

@@ -10,14 +10,19 @@ block, and let the retention clock restart.
 
 :class:`RefreshPolicy` is the *selection* half: every
 ``check_interval`` host operations the FTL asks it for due blocks — FULL
-blocks old enough to matter whose worst-page predicted retry count
-exceeds the budget — and refreshes at most ``max_blocks_per_check`` of
-them per check (bounding the background work any single host op can
-trigger).  The *mechanics* half reuses the FTL's own GC relocation path
-(:meth:`repro.ftl.base.BaseFTL._collect`), so refresh inherits every
-data-integrity invariant the GC tests already prove, and PPB's
-classification hooks naturally re-place refreshed data on
-speed-appropriate pages.
+blocks whose worst-page predicted retry count exceeds the budget — and
+refreshes at most ``max_blocks_per_check`` of them per check (bounding
+the background work any single host op can trigger).  A block enters a
+scan through either of two gates: it is *old* enough for retention to
+matter (``min_age_s``), or it has absorbed enough reads for read
+disturb to matter (``disturb_reads``, the second refresh trigger; see
+:mod:`repro.reliability.disturb`).  The *mechanics* half reuses the
+FTL's own relocation path through the shared
+:meth:`repro.ftl.reliability_hooks.ReliabilityHost._refresh_block`
+hook — GC collection for the page-mapping designs, merges for FAST — so
+refresh inherits every data-integrity invariant those paths' tests
+already prove, and PPB's classification hooks naturally re-place
+refreshed data on speed-appropriate pages.
 """
 
 from __future__ import annotations
@@ -45,8 +50,12 @@ class RefreshPolicy:
         self.check_interval = cfg.refresh_check_interval
         #: cap on blocks refreshed per scan (bounds the background stall).
         self.max_blocks_per_check = cfg.refresh_max_blocks_per_check
-        #: ignore blocks younger than this (they cannot be at risk yet).
+        #: ignore blocks younger than this (they cannot be at risk yet)
+        #: unless read disturb lets them in through the second gate.
         self.min_age_s = cfg.refresh_min_age_s
+        #: reads past which a block qualifies regardless of age (the
+        #: read-disturb trigger; 0 disables the gate).
+        self.disturb_reads = cfg.refresh_disturb_reads
         #: op sequence of the last scan (cadence is crossing-based, not
         #: exact-multiple, so ops that bypass the refresh hook — trims,
         #: unmapped reads — can never suppress a scan, only delay it to
@@ -73,7 +82,7 @@ class RefreshPolicy:
         urgencies: list[tuple[int, int]] = []
         for pbn in candidates:
             pbn = int(pbn)
-            if manager.age_of(pbn) < self.min_age_s:
+            if not self._in_scan(pbn):
                 continue
             steps, uncorrectable = manager.predicted_block_retries(pbn)
             if uncorrectable or steps > self.retry_budget:
@@ -82,6 +91,14 @@ class RefreshPolicy:
             return []
         urgencies.sort(key=lambda pair: (-pair[0], pair[1]))
         return [pbn for _, pbn in urgencies[: self.max_blocks_per_check]]
+
+    def _in_scan(self, pbn: int) -> bool:
+        """Whether either refresh gate (age, read disturb) admits ``pbn``."""
+        if self.manager.age_of(pbn) >= self.min_age_s:
+            return True
+        return bool(
+            self.disturb_reads and self.manager.reads_of(pbn) >= self.disturb_reads
+        )
 
     def pressure(self, blocks: BlockManager) -> float:
         """Fraction of FULL blocks currently past the refresh threshold.
@@ -95,16 +112,19 @@ class RefreshPolicy:
         due = sum(
             1
             for pbn in candidates
-            if self.manager.age_of(int(pbn)) >= self.min_age_s
+            if self._in_scan(int(pbn))
             and self.manager.predicted_block_retries(int(pbn))[0] > self.retry_budget
         )
         return due / float(candidates.size)
 
     def describe(self) -> str:
         """One-line summary for logs."""
+        disturb = (
+            f", disturb>={self.disturb_reads} reads" if self.disturb_reads else ""
+        )
         return (
             f"RefreshPolicy(budget={self.retry_budget} retries, "
             f"every {self.check_interval} ops, "
             f"<= {self.max_blocks_per_check} blocks/check, "
-            f"min_age={self.min_age_s / 3600.0:.1f}h)"
+            f"min_age={self.min_age_s / 3600.0:.1f}h{disturb})"
         )

@@ -29,7 +29,7 @@ def _make_conventional(device, ppb_config, reliability, refresh):
 
 
 def _make_fast(device, ppb_config, reliability, refresh):
-    return FastFTL(device)
+    return FastFTL(device, reliability=reliability, refresh=refresh)
 
 
 def _make_ppb(device, ppb_config, reliability, refresh):
@@ -43,8 +43,9 @@ FTL_FACTORIES: dict[str, Callable[..., object]] = {
     "ppb": _make_ppb,
 }
 
-#: FTLs that accept the reliability stack (BaseFTL subclasses).
-RELIABILITY_FTLS = ("conventional", "ppb")
+#: FTLs that accept the reliability stack — all of them, now that the
+#: hook protocol (repro.ftl.reliability_hooks) is FTL-agnostic.
+RELIABILITY_FTLS = ("conventional", "fast", "ppb")
 
 
 def make_ftl(
@@ -79,6 +80,7 @@ def replay_trace(
     reliability: ReliabilityConfig | None = None,
     refresh: bool = False,
     retention_age_s: float = 0.0,
+    reread_age_s: float = 0.0,
 ) -> RunResult:
     """Replay a trace on a fresh device; returns the aggregate result.
 
@@ -93,10 +95,22 @@ def replay_trace(
     device that sat powered off for that long before the replay — the
     knob the ``repro reliability`` scenario sweeps.  The manager is
     exposed on the result's FTL as ``ftl.reliability``.
+
+    ``reread_age_s`` adds a second phase: after the replay, the device
+    shelf-ages by that much and the trace's *reads* run again.  The
+    returned result then describes the re-read phase (its
+    ``mean_read_page_us`` is the aged-read service time; the fresh
+    phase's mean survives in ``extra["phase1.mean_read_page_us"]``, and
+    the phase's retry accounting in ``extra["reread.*"]``).  This is how
+    the ``repro placement`` scenario measures what a placement decision
+    costs once the data it placed has rotted — a replay alone cannot,
+    because simulated time advances only by operation latencies.
     """
     device = NandDevice(spec)
     manager = ReliabilityManager(device, reliability) if reliability else None
     policy = RefreshPolicy(manager) if (manager is not None and refresh) else None
+    if reread_age_s > 0 and manager is None:
+        raise ConfigError("reread_age_s requires the reliability stack")
     ftl = make_ftl(ftl_kind, device, ppb_config, manager, policy)
     ssd = SSD(ftl, spec.page_size)
     fitted = trace.fit_to(ssd.capacity_bytes)
@@ -107,5 +121,41 @@ def replay_trace(
         if retention_age_s > 0:
             manager.age_all(retention_age_s)
     result = ssd.replay(fitted, mode=mode)
+    if reread_age_s > 0:
+        result = _reread_aged(ssd, ftl, manager, fitted, result, reread_age_s, mode)
     result.ftl = ftl  # type: ignore[attr-defined]  # exposed for reports
     return result
+
+
+def _reread_aged(
+    ssd: SSD,
+    ftl,
+    manager: ReliabilityManager,
+    fitted: Trace,
+    fresh: RunResult,
+    reread_age_s: float,
+    mode: str,
+) -> RunResult:
+    """Shelf-age the device and replay the trace's reads (phase 2)."""
+    manager.age_all(reread_age_s)
+    stats = ftl.stats
+    read_us_before = stats.host_read_us
+    read_pages_before = stats.host_read_pages
+    rel = manager.stats
+    checked_before = rel.checked_reads
+    steps_before = rel.retry_steps
+    retry_us_before = rel.retry_us
+    reread = ssd.replay(fitted.reads_only(), mode=mode)
+    pages = stats.host_read_pages - read_pages_before
+    # ssd.replay finalizes means from the cumulative FTL stats; carve
+    # out the phase-2 view so the aged-read cost is not diluted.
+    reread.mean_read_page_us = (
+        (stats.host_read_us - read_us_before) / pages if pages else 0.0
+    )
+    reread.extra["phase1.mean_read_page_us"] = fresh.mean_read_page_us
+    checked = rel.checked_reads - checked_before
+    reread.extra["reread.retries_per_read"] = (
+        (rel.retry_steps - steps_before) / checked if checked else 0.0
+    )
+    reread.extra["reread.retry_us"] = rel.retry_us - retry_us_before
+    return reread

@@ -1,0 +1,148 @@
+"""Tests for the reliability-aware placement policy.
+
+The anchor property: with ``reliability_weight`` 0 the policy degrades
+to the paper's pure-speed PPB *exactly* — decision-level (prefer_fast
+is always True) and replay-level (byte-identical run results).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import PPBConfig
+from repro.core.placement import ReliabilityAwarePlacement
+from repro.core.ppb_ftl import PPBFTL
+from repro.errors import ConfigError
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+
+_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def make_policy(weight: float, **config) -> ReliabilityAwarePlacement:
+    device = NandDevice(tiny_spec())
+    manager = ReliabilityManager(device, ReliabilityConfig(**config))
+    return ReliabilityAwarePlacement(
+        manager,
+        device.latency,
+        weight=weight,
+        horizon_s=30 * 86400.0,
+        horizon_reads=1_000,
+    )
+
+
+class TestWeightZeroDegradesToPureSpeed:
+    @given(
+        fast_pbn=st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+        slow_pbn=st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+        hot=st.booleans(),
+    )
+    @settings(**_SETTINGS)
+    def test_prefer_fast_always(self, fast_pbn, slow_pbn, hot):
+        policy = make_policy(0.0, disturb_coeff=50.0)
+        assert policy.prefer_fast(fast_pbn, slow_pbn, hot=hot)
+
+    def test_replay_byte_identical(self):
+        """PPB + reliability at weight 0 == PPB + reliability, unconfigured."""
+        results = []
+        for config in (PPBConfig(reliability_weight=0.0), PPBConfig()):
+            device = NandDevice(tiny_spec())
+            manager = ReliabilityManager(
+                device, ReliabilityConfig(disturb_coeff=8.0)
+            )
+            ftl = PPBFTL(device, config=config, reliability=manager)
+            assert ftl.placement is None
+            rng = np.random.default_rng(7)
+            for _ in range(4_000):
+                lpn = int(rng.integers(0, ftl.num_lpns))
+                if rng.random() < 0.5:
+                    ftl.host_write(lpn, nbytes=2048)
+                else:
+                    ftl.host_read(lpn)
+            ftl.check_invariants()
+            results.append(
+                (
+                    ftl.stats.host_read_us,
+                    ftl.stats.host_write_us,
+                    ftl.stats.erase_count,
+                    dict(ftl.stats.extra),
+                    [ftl.map.ppn_of(lpn) for lpn in range(ftl.num_lpns)],
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestWeightedDecisions:
+    def test_large_weight_diverts_cold_data(self):
+        """At a month's retention horizon every block's fast half rots."""
+        policy = make_policy(50.0)
+        assert not policy.prefer_fast(None, None, hot=False)
+        assert policy.slow_diverts == 1
+
+    def test_decision_is_per_block(self):
+        """Block-to-block variation flips the iron-hot decision."""
+        policy = make_policy(4.0, disturb_coeff=8.0)
+        multipliers = policy.manager.variation.block_multipliers
+        best = int(np.argmin(multipliers))
+        worst = int(np.argmax(multipliers))
+        decisions = {
+            policy.prefer_fast(best, None, hot=True),
+            policy.prefer_fast(worst, None, hot=True),
+        }
+        assert decisions == {True, False}
+
+    def test_counters_track_decisions(self):
+        policy = make_policy(50.0)
+        policy.prefer_fast(None, None, hot=False)
+        policy.prefer_fast(None, None, hot=True)
+        assert policy.slow_diverts + policy.fast_choices == 2
+
+    def test_describe(self):
+        assert "weight=4.00" in make_policy(4.0).describe()
+
+
+class TestWiring:
+    def test_ftl_builds_policy_only_with_manager_and_weight(self):
+        device = NandDevice(tiny_spec())
+        manager = ReliabilityManager(device, ReliabilityConfig())
+        with_policy = PPBFTL(
+            device,
+            config=PPBConfig(reliability_weight=2.0),
+            reliability=manager,
+        )
+        assert with_policy.placement is not None
+        no_manager = PPBFTL(
+            NandDevice(tiny_spec()), config=PPBConfig(reliability_weight=2.0)
+        )
+        assert no_manager.placement is None
+
+    def test_diverts_surface_in_placement_report(self):
+        device = NandDevice(tiny_spec())
+        manager = ReliabilityManager(device, ReliabilityConfig())
+        ftl = PPBFTL(
+            device,
+            config=PPBConfig(reliability_weight=100.0),
+            reliability=manager,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(3_000):
+            lpn = int(rng.integers(0, ftl.num_lpns))
+            if rng.random() < 0.6:
+                ftl.host_write(lpn, nbytes=2048)
+            else:
+                ftl.host_read(lpn)
+        ftl.check_invariants()
+        report = ftl.placement_report()
+        assert report["ppb.placement.slow_diverts"] > 0
+        assert "ppb.placement.fast_choices" in report
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PPBConfig(reliability_weight=-1.0)
+        with pytest.raises(ConfigError):
+            PPBConfig(placement_horizon_s=-1.0)
+        with pytest.raises(ConfigError):
+            PPBConfig(placement_horizon_reads=-1)
+        with pytest.raises(ConfigError):
+            make_policy(-1.0)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.hotness import Area
 from repro.core.vblists import AreaAllocator
-from repro.core.virtual_block import VBState, VirtualBlockManager
+from repro.core.virtual_block import VirtualBlockManager
 from repro.errors import ConfigError
 from repro.ftl.blockinfo import BlockManager
 from repro.nand.device import NandDevice

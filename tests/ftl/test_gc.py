@@ -1,6 +1,5 @@
 """Tests for GC victim selection policies."""
 
-import pytest
 
 from repro.ftl.blockinfo import BlockManager
 from repro.ftl.gc import (

@@ -1,7 +1,6 @@
 """Tests for the static wear-leveling victim-policy decorator."""
 
 import numpy as np
-import pytest
 
 from repro.ftl.conventional import ConventionalFTL
 from repro.ftl.gc import GreedyVictimPolicy

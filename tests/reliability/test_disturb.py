@@ -1,0 +1,160 @@
+"""Tests for the read-disturb model and its manager/refresh wiring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.ftl.conventional import ConventionalFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.reliability.disturb import ReadDisturbModel
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+from repro.reliability.refresh import RefreshPolicy
+
+_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def make_manager(**overrides) -> ReliabilityManager:
+    device = NandDevice(tiny_spec())
+    return ReliabilityManager(device, ReliabilityConfig(**overrides))
+
+
+class TestModel:
+    def test_fresh_block_is_undisturbed(self):
+        model = ReadDisturbModel(coeff_per_kread=5.0)
+        assert model.factor(0) == 1.0
+
+    def test_disabled_by_default(self):
+        model = ReadDisturbModel()
+        assert not model.enabled
+        assert model.factor(10_000_000) == 1.0
+
+    @given(
+        reads=st.integers(min_value=0, max_value=10_000_000),
+        extra=st.integers(min_value=0, max_value=10_000_000),
+        coeff=st.floats(min_value=0.0, max_value=100.0),
+        exponent=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(**_SETTINGS)
+    def test_factor_monotone_in_reads(self, reads, extra, coeff, exponent):
+        model = ReadDisturbModel(coeff_per_kread=coeff, exponent=exponent)
+        assert model.factor(reads + extra) >= model.factor(reads) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReadDisturbModel(coeff_per_kread=-1.0)
+        with pytest.raises(ConfigError):
+            ReadDisturbModel(coeff_per_kread=1.0, exponent=0.0)
+
+    def test_describe(self):
+        assert "off" in ReadDisturbModel().describe()
+        assert "kread" in ReadDisturbModel(coeff_per_kread=2.0).describe()
+
+
+class TestManagerIntegration:
+    def test_reads_counted_per_block(self):
+        manager = make_manager(disturb_coeff=10.0)
+        pages = manager.spec.pages_per_block
+        manager.note_program(0)
+        for _ in range(5):
+            manager.on_host_read(0)          # block 0, page 0
+        manager.on_host_read(pages)          # block 1, page 0
+        assert manager.reads_of(0) == 5
+        assert manager.reads_of(1) == 1
+        assert manager.reads_of(2) == 0
+
+    @given(reads=st.integers(min_value=1, max_value=5_000))
+    @settings(**_SETTINGS)
+    def test_rber_monotone_in_neighbor_reads(self, reads):
+        manager = make_manager(disturb_coeff=10.0)
+        manager.note_program(3)
+        fresh = manager.rber_of(3, 2)
+        for _ in range(reads):
+            manager.on_host_read(3 * manager.spec.pages_per_block + 1)
+        assert manager.rber_of(3, 2) > fresh
+        # one more neighbor read never *lowers* the page's RBER
+        before = manager.rber_of(3, 2)
+        manager.on_host_read(3 * manager.spec.pages_per_block + 1)
+        assert manager.rber_of(3, 2) >= before
+
+    def test_erase_resets_disturb(self):
+        manager = make_manager(disturb_coeff=10.0)
+        manager.note_program(3)
+        fresh = manager.rber_of(3, 2)
+        for _ in range(2_000):
+            manager.on_host_read(3 * manager.spec.pages_per_block)
+        assert manager.rber_of(3, 2) > fresh
+        manager.note_erase(3)
+        manager.note_program(3)
+        assert manager.reads_of(3) == 0
+        # back to the fresh RBER, up to the one P/E cycle's wear factor
+        expected = fresh * manager.retention.pe_factor(1)
+        assert manager.rber_of(3, 2) == pytest.approx(expected)
+
+    def test_disabled_coeff_leaves_rber_unchanged(self):
+        manager = make_manager()  # disturb_coeff = 0
+        manager.note_program(3)
+        fresh = manager.rber_of(3, 2)
+        for _ in range(5_000):
+            manager.on_host_read(3 * manager.spec.pages_per_block)
+        assert manager.rber_of(3, 2) == pytest.approx(fresh)
+
+    def test_prediction_includes_disturb(self):
+        manager = make_manager(disturb_coeff=50.0)
+        manager.note_program(3)
+        before = manager.predicted_block_retries(3)
+        for _ in range(5_000):
+            manager.on_host_read(3 * manager.spec.pages_per_block)
+        after = manager.predicted_block_retries(3)
+        assert after >= before
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReliabilityConfig(refresh_disturb_reads=-1)
+
+
+class TestRefreshSecondTrigger:
+    def test_disturb_gate_admits_young_blocks(self):
+        manager = make_manager(disturb_coeff=50.0, refresh_disturb_reads=100)
+        policy = RefreshPolicy(manager)
+        manager.note_program(3)
+        assert manager.age_of(3) < policy.min_age_s
+        assert not policy._in_scan(3)  # young, unread: neither gate
+        for _ in range(100):
+            manager.on_host_read(3 * manager.spec.pages_per_block)
+        assert policy._in_scan(3)  # young but disturbed: second gate
+
+    def test_zero_disables_the_gate(self):
+        manager = make_manager(disturb_coeff=50.0, refresh_disturb_reads=0)
+        policy = RefreshPolicy(manager)
+        manager.note_program(3)
+        for _ in range(10_000):
+            manager.on_host_read(3 * manager.spec.pages_per_block)
+        assert not policy._in_scan(3)
+
+    def test_disturbed_block_gets_refreshed_in_ftl(self):
+        """End to end: heavy reads alone trigger a refresh, no aging."""
+        device = NandDevice(tiny_spec())
+        manager = ReliabilityManager(
+            device,
+            ReliabilityConfig(
+                disturb_coeff=200.0,
+                refresh_disturb_reads=64,
+                refresh_check_interval=16,
+            ),
+        )
+        ftl = ConventionalFTL(
+            device, reliability=manager, refresh=RefreshPolicy(manager)
+        )
+        for lpn in range(ftl.num_lpns // 2):
+            ftl.host_write(lpn)
+        assert manager.stats.refresh_runs == 0
+        for _ in range(40):
+            for lpn in range(0, 64):
+                ftl.host_read(lpn)
+        assert manager.stats.refresh_runs > 0
+        ftl.check_invariants()
+
+    def test_describe_mentions_gate(self):
+        manager = make_manager(refresh_disturb_reads=123)
+        assert "123" in RefreshPolicy(manager).describe()

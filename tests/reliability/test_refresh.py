@@ -1,6 +1,5 @@
 """Tests for the retention-aware refresh policy and its FTL driver."""
 
-import pytest
 
 from repro.ftl.conventional import ConventionalFTL
 from repro.nand.device import NandDevice

@@ -106,3 +106,50 @@ class TestReliability:
         out = capsys.readouterr().out
         assert code == 0, out
         assert "FAIL" not in out
+
+    def test_fast_ftl_accepted(self, capsys):
+        """FastFTL runs under the reliability stack via the hook protocol."""
+        code = main(
+            [
+                "reliability",
+                "--ftl", "fast",
+                "--requests", "1200",
+                "--blocks", "64",
+                "--speed-ratios", "2",
+                "--ages", "0,720",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "on fast" in out
+        assert "FAIL" not in out
+
+
+class TestPlacement:
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "placement",
+                "--workload", "web-sql",
+                "--requests", "2000",
+                "--blocks", "64",
+                "--speed-ratios", "2",
+                "--skews", "0.95",
+                "--weights", "0,4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "Reliability-aware placement frontier" in out
+        assert "ppb w=4" in out
+        assert "served from memo" in out
+        assert "FAIL" not in out
+
+    def test_bad_config_reports_cleanly(self, capsys):
+        assert main(["placement", "--weights", "1,2"]) == 2
+        err = capsys.readouterr().err
+        assert "weights" in err
+
+    def test_unskewable_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["placement", "--workload", "uniform"])

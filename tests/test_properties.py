@@ -12,7 +12,6 @@ every sequence:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.config import PPBConfig
