@@ -14,11 +14,25 @@ config, the reliability stack and pre-aging), making a replay hashable;
 :class:`ReplayRunner` executes specs on demand, caches traces by their
 generator parameters and results by the full spec, and counts hits and
 misses so the scenarios can *prove* no identical replay ran twice.
+
+Parallel execution
+------------------
+``ReplayRunner(workers=N)`` adds a process-pool mode: :meth:`run_many`
+fans the not-yet-cached specs of a batch across ``N`` worker processes
+and absorbs the pickled results into the memo, after which the usual
+:meth:`run` calls are cache hits.  Every replay is an independent,
+deterministic simulation, so the results are byte-identical to
+single-process execution regardless of scheduling; ``workers=1`` (the
+default) never spawns a pool and behaves exactly as before.  Worker
+processes build their own traces, so :attr:`ReplayMemoStats.trace_builds`
+counts only parent-side builds.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
@@ -109,12 +123,37 @@ class ReplayMemoStats:
         return self.hits
 
 
-class ReplayRunner:
-    """Executes :class:`ReplaySpec`\\ s with trace and result memoization."""
+def _execute_specs(specs: list[ReplaySpec]) -> list[RunResult]:
+    """Process-pool entry point: run a batch of specs in a fresh runner.
 
-    def __init__(self) -> None:
+    Module-level so it pickles by reference; the worker rebuilds traces
+    itself (the batches :meth:`ReplayRunner.run_many` dispatches share
+    one trace, so it is built once per task) and ships the finished
+    :class:`RunResult`\\ s — each including the attached FTL with its
+    stats and reliability manager — back through pickling.
+    """
+    runner = ReplayRunner()
+    return [runner.run(spec) for spec in specs]
+
+
+class ReplayRunner:
+    """Executes :class:`ReplaySpec`\\ s with trace and result memoization.
+
+    ``workers`` > 1 enables the process-pool mode used by
+    :meth:`run_many`; see the module docstring.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         self._traces: dict[tuple, Trace] = {}
         self._results: dict[ReplaySpec, RunResult] = {}
+        #: pool-executed specs whose first :meth:`run` fetch must not
+        #: count as a memo hit — keeps the hit/miss accounting (and the
+        #: sweep reports rendered from it) byte-identical to
+        #: single-process execution.
+        self._fresh: set[ReplaySpec] = set()
         self.stats = ReplayMemoStats()
 
     def trace_for(self, spec: ReplaySpec) -> Trace:
@@ -137,7 +176,12 @@ class ReplayRunner:
         Cached results are shared objects: treat them as read-only.
         """
         if spec in self._results:
-            self.stats.hits += 1
+            if spec in self._fresh:
+                # First fetch of a pool-executed result: the pool run
+                # already counted the miss, so this is not a cache hit.
+                self._fresh.discard(spec)
+            else:
+                self.stats.hits += 1
             return self._results[spec]
         self.stats.misses += 1
         result = replay_trace(
@@ -153,3 +197,54 @@ class ReplayRunner:
         )
         self._results[spec] = result
         return result
+
+    def prefetch(self, specs: Iterable[ReplaySpec]) -> None:
+        """Execute the uncached specs of a batch in the process pool.
+
+        No-op with ``workers == 1`` (or when at most one spec is
+        uncached).  Each executed spec is counted as one miss — exactly
+        what a sequential execution would record — and its *first*
+        subsequent :meth:`run` fetch is not counted as a hit, so the
+        sweeps' memo accounting (which their reports render) is
+        byte-identical whether or not a pool ran.
+        """
+        if self.workers <= 1:
+            return
+        pending: list[ReplaySpec] = []
+        seen: set[ReplaySpec] = set()
+        for spec in specs:
+            if spec not in self._results and spec not in seen:
+                seen.add(spec)
+                pending.append(spec)
+        if len(pending) <= 1:
+            return
+        # Order specs so same-trace variants sit together, then chunk
+        # contiguously into one batch per worker: chunks mostly stay
+        # within a trace (few duplicate builds) but a grid dominated by
+        # one trace — the reliability sweep — still fans out across
+        # every worker.
+        groups: dict[tuple, list[ReplaySpec]] = {}
+        for spec in pending:
+            groups.setdefault(spec.trace_key(), []).append(spec)
+        ordered = [spec for group in groups.values() for spec in group]
+        num_batches = min(self.workers, len(ordered))
+        size = (len(ordered) + num_batches - 1) // num_batches
+        batches = [ordered[i : i + size] for i in range(0, len(ordered), size)]
+        with ProcessPoolExecutor(max_workers=len(batches)) as pool:
+            for batch, results in zip(batches, pool.map(_execute_specs, batches)):
+                for spec, result in zip(batch, results):
+                    self._results[spec] = result
+                    self._fresh.add(spec)
+                    self.stats.misses += 1
+
+    def run_many(self, specs: Iterable[ReplaySpec]) -> list[RunResult]:
+        """Run (or fetch) a batch of specs; returns results in order.
+
+        With ``workers > 1`` the uncached specs execute concurrently
+        via :meth:`prefetch`; with ``workers == 1`` this is just
+        ``[self.run(s) for s in specs]``.  Either way the memo stats
+        come out the same.
+        """
+        spec_list = list(specs)
+        self.prefetch(spec_list)
+        return [self.run(spec) for spec in spec_list]

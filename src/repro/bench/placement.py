@@ -160,32 +160,56 @@ class PlacementPoint:
         return (self.aged_read_us - self.fresh_read_us) / self.fresh_read_us
 
 
+def _base_spec(sweep: PlacementSweepSpec, ratio: float, skew: float) -> ReplaySpec:
+    """The shared replay spec of one (speed ratio, skew) grid point."""
+    return ReplaySpec(
+        workload=sweep.workload,
+        num_requests=sweep.num_requests,
+        blocks_per_chip=sweep.blocks_per_chip,
+        page_size=sweep.page_size,
+        speed_ratio=ratio,
+        footprint_fraction=sweep.footprint_fraction,
+        seed=sweep.seed,
+        workload_kwargs=(("zipf_theta", float(skew)),),
+        reliability=sweep.config,
+        refresh=True,
+        reread_age_s=sweep.retention_age_hours * SECONDS_PER_HOUR,
+    )
+
+
+def sweep_specs(sweep: PlacementSweepSpec) -> list[ReplaySpec]:
+    """Every unique replay the sweep needs (the parallel prefetch set)."""
+    specs: list[ReplaySpec] = []
+    for ratio in sweep.speed_ratios:
+        for skew in sweep.skews:
+            base = _base_spec(sweep, ratio, skew)
+            specs.append(base.with_(ftl="conventional"))
+            specs.append(base.with_(ftl="fast"))
+            for weight in sorted(sweep.weights):
+                specs.append(base.with_(ftl="ppb", ppb=_ppb_config(sweep, weight)))
+    return specs
+
+
 def run_placement_sweep(
     sweep: PlacementSweepSpec | None = None,
     runner: ReplayRunner | None = None,
 ) -> FigureReport:
-    """Execute the sweep and package it as a figure-style report."""
+    """Execute the sweep and package it as a figure-style report.
+
+    With ``runner.workers > 1`` the whole grid is prefetched through
+    the runner's process pool first; the measurement loop below then
+    reads every point from the memo.  Single-process runners execute
+    the loop exactly as before.
+    """
     sweep = sweep or PlacementSweepSpec()
     runner = runner or ReplayRunner()
     replays_before = runner.stats.misses
     hits_before = runner.stats.hits
-    age_s = sweep.retention_age_hours * SECONDS_PER_HOUR
+    runner.prefetch(sweep_specs(sweep))
     points: list[PlacementPoint] = []
     for ratio in sweep.speed_ratios:
         for skew in sweep.skews:
-            base = ReplaySpec(
-                workload=sweep.workload,
-                num_requests=sweep.num_requests,
-                blocks_per_chip=sweep.blocks_per_chip,
-                page_size=sweep.page_size,
-                speed_ratio=ratio,
-                footprint_fraction=sweep.footprint_fraction,
-                seed=sweep.seed,
-                workload_kwargs=(("zipf_theta", float(skew)),),
-                reliability=sweep.config,
-                refresh=True,
-                reread_age_s=age_s,
-            )
+            base = _base_spec(sweep, ratio, skew)
             for weight in sorted(sweep.weights):
                 # The speed-oblivious FTLs do not depend on the weight;
                 # requesting them every iteration exercises the memo.

@@ -90,6 +90,37 @@ class ReliabilityPoint:
         return min(1.0, (self.aged_read_us - self.refresh_read_us) / penalty)
 
 
+def _base_spec(sweep: ReliabilitySweepSpec, ratio: float) -> ReplaySpec:
+    """The latency-only baseline spec of one speed-ratio lane."""
+    return ReplaySpec(
+        workload=sweep.workload,
+        num_requests=sweep.num_requests,
+        blocks_per_chip=sweep.blocks_per_chip,
+        page_size=sweep.page_size,
+        speed_ratio=ratio,
+        footprint_fraction=sweep.footprint_fraction,
+        seed=sweep.seed,
+        ftl=sweep.ftl,
+    )
+
+
+def sweep_specs(sweep: ReliabilitySweepSpec) -> list[ReplaySpec]:
+    """Every unique replay the sweep needs (the parallel prefetch set)."""
+    specs: list[ReplaySpec] = []
+    for ratio in sweep.speed_ratios:
+        base_spec = _base_spec(sweep, ratio)
+        specs.append(base_spec)
+        for age_hours in sweep.ages_hours:
+            age_s = age_hours * SECONDS_PER_HOUR
+            specs.append(base_spec.with_(reliability=sweep.config, retention_age_s=age_s))
+            specs.append(
+                base_spec.with_(
+                    reliability=sweep.config, refresh=True, retention_age_s=age_s
+                )
+            )
+    return specs
+
+
 def run_reliability_sweep(
     sweep: ReliabilitySweepSpec | None = None,
     runner: ReplayRunner | None = None,
@@ -100,7 +131,8 @@ def run_reliability_sweep(
     without refresh, stack with refresh); the baseline does not depend
     on retention age, so it is fetched from ``runner``'s memo for every
     age after the first — pass a shared runner to extend that sharing
-    across sweeps.
+    across sweeps.  With ``runner.workers > 1`` the whole grid is
+    prefetched through the runner's process pool first.
     """
     sweep = sweep or ReliabilitySweepSpec()
     if sweep.workload not in WORKLOADS:
@@ -108,18 +140,10 @@ def run_reliability_sweep(
             f"unknown workload {sweep.workload!r}; choose from {sorted(WORKLOADS)}"
         )
     runner = runner or ReplayRunner()
+    runner.prefetch(sweep_specs(sweep))
     points: list[ReliabilityPoint] = []
     for ratio in sweep.speed_ratios:
-        base_spec = ReplaySpec(
-            workload=sweep.workload,
-            num_requests=sweep.num_requests,
-            blocks_per_chip=sweep.blocks_per_chip,
-            page_size=sweep.page_size,
-            speed_ratio=ratio,
-            footprint_fraction=sweep.footprint_fraction,
-            seed=sweep.seed,
-            ftl=sweep.ftl,
-        )
+        base_spec = _base_spec(sweep, ratio)
         for age_hours in sweep.ages_hours:
             age_s = age_hours * SECONDS_PER_HOUR
             base = runner.run(base_spec)

@@ -14,10 +14,18 @@ Subcommands
     Sweep speed-ratio x hotness-skew across all three FTLs plus PPB at
     several reliability weights, and print the speed-vs-lifetime
     placement frontier.
+``perf``
+    Time the paper-figure replays (wall-clock, pages/sec), write the
+    ``BENCH_perf.json`` digest, and optionally gate against a committed
+    baseline — the CI perf-smoke regression guard.
 ``characterize``
     Print trace statistics for a synthetic workload (or an MSRC CSV).
 ``spec``
     Print the Table 1 device description.
+
+The sweep subcommands take ``--workers N`` to fan their replay grids
+across worker processes (results are byte-identical to ``--workers 1``;
+see :mod:`repro.bench.memo`).
 """
 
 from __future__ import annotations
@@ -27,6 +35,16 @@ import sys
 
 from repro.bench.experiment import FULL_SCALE, SMOKE_SCALE, Cell, ExperimentRunner
 from repro.bench.figures import FIGURES
+from repro.bench.memo import ReplayRunner
+from repro.bench.perf import (
+    DEFAULT_REPORT,
+    DEFAULT_TOLERANCE,
+    compare_to_baseline,
+    load_baseline,
+    perf_scale,
+    run_perf,
+    write_report,
+)
 from repro.bench.placement import (
     DEFAULT_SKEWS,
     DEFAULT_WEIGHTS,
@@ -84,6 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--speed-ratio", type=float, default=2.0)
     run.add_argument("--page-size", type=int, default=16 * 1024)
     run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--mode",
+        choices=["sequential", "timed"],
+        default="sequential",
+        help="timed mode queues requests at trace timestamps and "
+        "reports response-time percentiles",
+    )
 
     rel = sub.add_parser(
         "reliability",
@@ -115,6 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=ReliabilityConfig().base_rber,
         help="RBER of a fresh median bottom-layer page",
+    )
+    rel.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep grid (1 = in-process)",
     )
 
     place = sub.add_parser(
@@ -154,6 +185,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shelf age (hours) between the fresh replay and the aged re-read",
     )
     place.add_argument("--seed", type=int, default=42)
+    place.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep grid (1 = in-process)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="time the paper-figure replays and gate against a baseline",
+    )
+    perf.add_argument(
+        "--scale",
+        choices=["full", "smoke"],
+        default=None,
+        help="workload size (default: smoke when REPRO_BENCH_SMOKE=1, else full)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=2, help="repeats per case (best kept)"
+    )
+    perf.add_argument(
+        "--output",
+        default=DEFAULT_REPORT,
+        metavar="PATH",
+        help=f"where to write the JSON digest (default {DEFAULT_REPORT})",
+    )
+    perf.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="gate against this committed BENCH_perf.json",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max fractional throughput regression before failing "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
 
     char = sub.add_parser("characterize", help="print trace statistics")
     char.add_argument("--workload", choices=sorted(_WORKLOADS), default=None)
@@ -188,7 +258,7 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
             seed=args.seed,
             config=ReliabilityConfig(base_rber=args.base_rber),
         )
-        report = run_reliability_sweep(sweep)
+        report = run_reliability_sweep(sweep, ReplayRunner(workers=args.workers))
     except ConfigError as exc:
         print(f"repro-flash reliability: error: {exc}", file=sys.stderr)
         return 2
@@ -208,12 +278,37 @@ def _cmd_placement(args: argparse.Namespace) -> int:
             retention_age_hours=args.age,
             seed=args.seed,
         )
-        report = run_placement_sweep(sweep)
+        report = run_placement_sweep(sweep, ReplayRunner(workers=args.workers))
     except ConfigError as exc:
         print(f"repro-flash placement: error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
     return 0 if report.all_checks_pass else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    try:
+        scale = perf_scale(None if args.scale is None else args.scale == "smoke")
+        report = run_perf(scale=scale, repeats=args.repeats)
+        write_report(report, args.output)
+        print(report.render())
+        print(f"wrote {args.output}")
+        if args.baseline:
+            failures = compare_to_baseline(
+                report, load_baseline(args.baseline), tolerance=args.tolerance
+            )
+            if failures:
+                for failure in failures:
+                    print(f"perf regression: {failure}", file=sys.stderr)
+                return 1
+            print(
+                f"within {args.tolerance * 100.0:.0f}% of baseline {args.baseline}"
+            )
+    except (ConfigError, OSError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError from a corrupt baseline.
+        print(f"repro-flash perf: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -232,7 +327,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     trace = generator.generate()
-    result = replay_trace(trace, spec, ftl_kind=args.ftl)
+    result = replay_trace(trace, spec, ftl_kind=args.ftl, mode=args.mode)
     print(result.summary())
     ftl = result.ftl  # type: ignore[attr-defined]
     print(f"host read total   {ftl.stats.host_read_us / 1e6:.3f} s")
@@ -242,6 +337,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"write amp.        {ftl.stats.write_amplification:.3f}")
     if hasattr(ftl, "fast_page_read_fraction"):
         print(f"fast-half reads   {ftl.fast_page_read_fraction():.3f}")
+    percentiles = result.response_percentiles()
+    if percentiles:
+        print(
+            "response time     "
+            f"p50 {percentiles['p50_us']:.0f} us, "
+            f"p95 {percentiles['p95_us']:.0f} us, "
+            f"p99 {percentiles['p99_us']:.0f} us"
+        )
     return 0
 
 
@@ -266,6 +369,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_reliability(args)
     if args.command == "placement":
         return _cmd_placement(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "characterize":
         return _cmd_characterize(args)
     if args.command == "spec":

@@ -41,13 +41,7 @@ class HotArea:
         An update of an iron-hot chunk stays iron-hot (it keeps earning
         fast pages); anything else (re)enters the hot list.
         """
-        level = (
-            HotnessLevel.IRON_HOT
-            if self.lru.level_of(lpn) is HotnessLevel.IRON_HOT
-            else HotnessLevel.HOT
-        )
-        evicted = self.lru.on_write(lpn)
-        return level, evicted
+        return self.lru.on_hot_write(lpn)
 
     def on_read(self, lpn: int) -> list[int]:
         """A read of a tracked chunk: promote, return demotion cascade."""

@@ -18,6 +18,7 @@ Two pressure valves keep the table honest:
 from __future__ import annotations
 
 import heapq
+from operator import itemgetter
 
 from repro.errors import ConfigError
 from repro.core.hotness import HotnessLevel
@@ -76,19 +77,29 @@ class AccessFrequencyTable:
         Fresh cold data starts icy-cold; only subsequent reads promote
         it (the paper stores new cold data in the icy-cold area first).
         """
-        self._counts[lpn] = 0
-        self._enforce_capacity()
-        self._tick()
+        counts = self._counts
+        counts[lpn] = 0
+        if len(counts) > self.capacity:
+            self._enforce_capacity()
+        if self.aging_period:
+            self._events_since_aging += 1
+            if self._events_since_aging >= self.aging_period:
+                self._age()
 
     def on_read(self, lpn: int) -> bool:
         """Log one read; returns True if this read promoted icy -> cold."""
-        count = self._counts.get(lpn, 0) + 1
-        self._counts[lpn] = count
+        counts = self._counts
+        count = counts.get(lpn, 0) + 1
+        counts[lpn] = count
         promoted = count == self.promote_reads
         if promoted:
             self.promotions += 1
-        self._enforce_capacity()
-        self._tick()
+        if len(counts) > self.capacity:
+            self._enforce_capacity()
+        if self.aging_period:
+            self._events_since_aging += 1
+            if self._events_since_aging >= self.aging_period:
+                self._age()
         return promoted
 
     def drop(self, lpn: int) -> None:
@@ -103,21 +114,19 @@ class AccessFrequencyTable:
         # Evict in batches: one O(n) scan drops the ~1.5% lowest-count
         # entries, amortizing to O(1) per insert (a strict per-insert
         # min() scan is quadratic over a long trace).
-        if len(self._counts) <= self.capacity:
+        counts = self._counts
+        if len(counts) <= self.capacity:
             return
-        batch = max(1, self.capacity // 64, len(self._counts) - self.capacity)
-        victims = heapq.nsmallest(
-            batch, self._counts.items(), key=lambda item: item[1]
-        )
+        batch = max(1, self.capacity // 64, len(counts) - self.capacity)
+        # itemgetter is C-implemented; a python lambda here costs one
+        # interpreter call per table entry per eviction scan.
+        victims = heapq.nsmallest(batch, counts.items(), key=itemgetter(1))
         for lpn, _ in victims:
-            del self._counts[lpn]
-            self.evictions += 1
+            del counts[lpn]
+        self.evictions += len(victims)
 
-    def _tick(self) -> None:
-        if not self.aging_period:
-            return
-        self._events_since_aging += 1
-        if self._events_since_aging >= self.aging_period:
-            self._counts = {lpn: c >> 1 for lpn, c in self._counts.items()}
-            self._events_since_aging = 0
-            self.agings += 1
+    def _age(self) -> None:
+        """Halve every count (the callers gate on the aging period)."""
+        self._counts = {lpn: c >> 1 for lpn, c in self._counts.items()}
+        self._events_since_aging = 0
+        self.agings += 1

@@ -42,9 +42,7 @@ class HotnessLevel(enum.IntEnum):
     @property
     def area(self) -> Area:
         """Hot blocks host HOT/IRON_HOT; cold blocks host COLD/ICY_COLD."""
-        if self in (HotnessLevel.HOT, HotnessLevel.IRON_HOT):
-            return Area.HOT
-        return Area.COLD
+        return _AREA_OF[self]
 
     @property
     def wants_fast_pages(self) -> bool:
@@ -54,17 +52,34 @@ class HotnessLevel(enum.IntEnum):
         *read-many*.  Hot (write-mostly) and icy-cold (read-few) data
         can live on slow pages without hurting anything.
         """
-        return self in (HotnessLevel.IRON_HOT, HotnessLevel.COLD)
+        return _WANTS_FAST[self]
 
     @property
     def label(self) -> str:
         """Human-readable name used in reports."""
-        return {
-            HotnessLevel.ICY_COLD: "icy-cold",
-            HotnessLevel.COLD: "cold",
-            HotnessLevel.HOT: "hot",
-            HotnessLevel.IRON_HOT: "iron-hot",
-        }[self]
+        return _LABEL_OF[self]
+
+
+# Per-call lookup tables for the properties above: classification runs
+# once per host write, so the properties must not rebuild containers.
+_AREA_OF = {
+    HotnessLevel.ICY_COLD: Area.COLD,
+    HotnessLevel.COLD: Area.COLD,
+    HotnessLevel.HOT: Area.HOT,
+    HotnessLevel.IRON_HOT: Area.HOT,
+}
+_WANTS_FAST = {
+    HotnessLevel.ICY_COLD: False,
+    HotnessLevel.COLD: True,
+    HotnessLevel.HOT: False,
+    HotnessLevel.IRON_HOT: True,
+}
+_LABEL_OF = {
+    HotnessLevel.ICY_COLD: "icy-cold",
+    HotnessLevel.COLD: "cold",
+    HotnessLevel.HOT: "hot",
+    HotnessLevel.IRON_HOT: "iron-hot",
+}
 
 
 def fast_level_of(area: Area) -> HotnessLevel:

@@ -77,12 +77,26 @@ class TwoLevelLRU:
         A new chunk goes to the head of the hot list (Fig. 10a); a
         rewrite of a tracked chunk refreshes its recency in place.
         """
-        if lpn in self._iron:
-            self._iron.move_to_end(lpn)
-            return []
-        self._hot[lpn] = None
-        self._hot.move_to_end(lpn)
-        return self._shrink_hot()
+        return self.on_hot_write(lpn)[1]
+
+    def on_hot_write(self, lpn: int) -> tuple[HotnessLevel, list[int]]:
+        """:meth:`on_write` fused with the level query the caller needs.
+
+        One membership check decides both the write's target level (an
+        iron-hot chunk being updated stays iron-hot) and the list
+        transition — the per-host-write path uses this to avoid probing
+        the iron list twice.
+        """
+        iron = self._iron
+        if lpn in iron:
+            iron.move_to_end(lpn)
+            return HotnessLevel.IRON_HOT, []
+        hot = self._hot
+        hot[lpn] = None
+        hot.move_to_end(lpn)
+        if len(hot) <= self.hot_capacity:
+            return HotnessLevel.HOT, []
+        return HotnessLevel.HOT, self._shrink_hot()
 
     def on_read(self, lpn: int) -> list[int]:
         """A read hit a tracked chunk; promote hot -> iron-hot.

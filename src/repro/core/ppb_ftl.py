@@ -24,7 +24,11 @@ from collections import deque
 from repro.core.areas import ColdArea, HotArea
 from repro.core.config import PPBConfig
 from repro.core.hotness import Area, HotnessLevel
-from repro.core.identification import FirstStageIdentifier, make_identifier
+from repro.core.identification import (
+    FirstStageIdentifier,
+    SizeCheckIdentifier,
+    make_identifier,
+)
 from repro.core.placement import ReliabilityAwarePlacement
 from repro.core.vblists import AreaAllocator
 from repro.core.virtual_block import VirtualBlockManager
@@ -95,6 +99,36 @@ class PPBFTL(BaseFTL):
             )
         #: promoted pages awaiting migration to fast pages at next GC.
         self._migration_queue: deque[int] = deque()
+        # Hot-path lookup tables: placement runs per host write and the
+        # tracker hooks per host read/GC copy, so the level -> allocator
+        # and level -> counter-key resolutions must be dict hits, not
+        # enum property walks and f-string builds.
+        self._allocator_by_level = {
+            level: self.allocators[level.area] for level in HotnessLevel
+        }
+        self._wants_fast_by_level = {
+            level: level.wants_fast_pages for level in HotnessLevel
+        }
+        self._host_place_key = {
+            level: f"ppb.host_place.{level.label}" for level in HotnessLevel
+        }
+        self._gc_place_key = {
+            level: f"ppb.gc_place.{level.label}" for level in HotnessLevel
+        }
+        self._fast_half_start = self.spec.pages_per_block // 2
+        self._allocator_tuple = tuple(self._all_allocators())
+        # Direct tracker references: the area objects are thin wrappers,
+        # and the per-op paths below go straight to the LRU / frequency
+        # table to skip a delegation layer per event.
+        self._lru = self.hot_area.lru
+        self._freq = self.cold_area.table
+        #: page-size threshold of the paper's size-check identifier,
+        #: inlined in _classify_write; None for custom identifiers.
+        self._size_check_threshold = (
+            self.identifier.page_size
+            if type(self.identifier) is SizeCheckIdentifier
+            else None
+        )
         #: optional reliability-aware placement scorer (needs a manager
         #: and a nonzero weight; None = the paper's pure-speed PPB).
         self.placement: ReliabilityAwarePlacement | None = None
@@ -114,22 +148,28 @@ class PPBFTL(BaseFTL):
 
     def current_level(self, lpn: int) -> HotnessLevel:
         """The chunk's present classification (GC relocation target)."""
-        level = self.hot_area.level_of(lpn)
+        level = self._lru.level_of(lpn)
         if level is not None:
             return level
-        return self.cold_area.level_of(lpn)
+        return self._freq.level_of(lpn)
 
     def _classify_write(self, lpn: int, nbytes: int) -> HotnessLevel:
         """Run both identification stages for a host write."""
-        if self.identifier.is_hot_write(lpn, nbytes):
-            self.cold_area.drop(lpn)
-            level, evicted = self.hot_area.on_write(lpn)
+        threshold = self._size_check_threshold
+        if threshold is not None:
+            hot = nbytes < threshold
+        else:
+            hot = self.identifier.is_hot_write(lpn, nbytes)
+        if hot:
+            self._freq.drop(lpn)
+            level, evicted = self._lru.on_hot_write(lpn)
             for demoted in evicted:
-                self.cold_area.adopt_demoted(demoted)
+                self._freq.on_write(demoted)  # cold area adopts it
                 self.stats.bump("ppb.demoted_to_cold")
             return level
-        self.hot_area.drop(lpn)
-        return self.cold_area.on_write(lpn)
+        self._lru.drop(lpn)
+        self._freq.on_write(lpn)
+        return HotnessLevel.ICY_COLD
 
     # ------------------------------------------------------------------
     # BaseFTL contract: placement
@@ -138,16 +178,20 @@ class PPBFTL(BaseFTL):
     def _alloc_ppn(self, lpn: int, ctx: WriteContext) -> int:
         if ctx.is_gc:
             level = self.current_level(lpn)
-            self.stats.bump(f"ppb.gc_place.{level.label}")
+            key = self._gc_place_key[level]
             if (
                 level is HotnessLevel.ICY_COLD
                 and self.gc_icy_allocator is not None
             ):
+                self.stats.bump(key)
                 return self.gc_icy_allocator.alloc_page(False)
         else:
             level = self._classify_write(lpn, ctx.nbytes)
-            self.stats.bump(f"ppb.host_place.{level.label}")
-        allocator = self.allocators[level.area]
+            key = self._host_place_key[level]
+        # Inlined stats.bump (once per host write and per GC copy).
+        extra = self.stats.extra
+        extra[key] = extra.get(key, 0.0) + 1.0
+        allocator = self._allocator_by_level[level]
         return allocator.alloc_page(self._wants_fast(level, allocator))
 
     def _wants_fast(self, level: HotnessLevel, allocator: AreaAllocator) -> bool:
@@ -159,7 +203,7 @@ class PPBFTL(BaseFTL):
         candidate fast block's predicted RBER-at-horizon outweighs its
         speed gain.
         """
-        if not level.wants_fast_pages:
+        if not self._wants_fast_by_level[level]:
             return False
         if self.placement is None:
             return True
@@ -180,7 +224,7 @@ class PPBFTL(BaseFTL):
 
     def _owner_of(self, pbn: int) -> AreaAllocator:
         """The allocator whose pair the block belongs to."""
-        for allocator in self._all_allocators():
+        for allocator in self._allocator_tuple:
             if pbn in allocator.owned:
                 return allocator
         area = self.vbmgr.area_of(pbn)
@@ -213,9 +257,23 @@ class PPBFTL(BaseFTL):
     # ------------------------------------------------------------------
 
     def _after_program(self, ppn: int) -> None:
-        pbn = self.geometry.pbn_of_ppn(ppn)
-        page = self.geometry.page_of_ppn(ppn)
-        vb = self.vbmgr.vb_of_page(pbn, page)
+        # ppn was just programmed, so the device already bounds-checked
+        # it.  A program only matters to the VB lifecycle when it fills
+        # its slice (about one in vb-size programs), so resolve the
+        # slice inline and bail out early via the write pointer before
+        # paying for the owner lookup + note_programmed transition.
+        pbn, page = divmod(ppn, self._ppb)
+        vbs = self.vbmgr.slices_of(pbn)
+        if vbs is None:
+            self.vbmgr.vb_of_page(pbn, page)  # raises the proper error
+            return
+        for vb in vbs:
+            if page < vb.end_page:
+                break
+        write_ptr = self._write_ptr
+        fill = write_ptr[pbn] if write_ptr is not None else self.device.next_page(pbn)
+        if fill < vb.end_page:
+            return
         self._owner_of(pbn).note_programmed(vb)
 
     def _on_host_write(self, lpn: int, ppn: int, ctx: WriteContext) -> None:
@@ -225,16 +283,17 @@ class PPBFTL(BaseFTL):
         self._after_program(new_ppn)
 
     def _on_host_read(self, lpn: int, ppn: int) -> None:
-        if self.geometry.page_of_ppn(ppn) >= self.spec.pages_per_block // 2:
-            self.stats.bump("ppb.reads_fast_half")
-        if lpn in self.hot_area:
-            for demoted in self.hot_area.on_read(lpn):
-                self.cold_area.adopt_demoted(demoted)
+        if ppn % self._ppb >= self._fast_half_start:
+            extra = self.stats.extra
+            extra["ppb.reads_fast_half"] = extra.get("ppb.reads_fast_half", 0.0) + 1.0
+        if lpn in self._lru:
+            for demoted in self._lru.on_read(lpn):
+                self._freq.on_write(demoted)  # cold area adopts it
                 self.stats.bump("ppb.demoted_to_cold")
         else:
-            if self.cold_area.on_read(lpn):
+            if self._freq.on_read(lpn):
                 self.stats.bump("ppb.promoted_icy_to_cold")
-            if self.cold_area.table.count_of(lpn) == self.config.migrate_reads:
+            if self._freq.count_of(lpn) == self.config.migrate_reads:
                 self._migration_queue.append(lpn)
 
     def _on_erase(self, pbn: int) -> None:
@@ -285,10 +344,8 @@ class PPBFTL(BaseFTL):
                 continue
             if self.geometry.page_of_ppn(ppn) >= half:
                 continue  # already on a fast page
-            read_us = self.device.read_ppn(ppn, include_transfer=False)
             dst = cold_alloc.alloc_page(True)
-            tag = self.device.tag(ppn)
-            write_us = self.device.program_ppn(dst, tag=tag, include_transfer=False)
+            read_us, write_us = self.device.copy_page(ppn, dst)
             self._commit_mapping(lpn, dst)
             self._note_if_full(dst)
             self._after_program(dst)

@@ -80,6 +80,23 @@ class AreaAllocator:
         # Counters for reports.
         self.diverted_writes = 0
         self.pairs_opened = 0
+        #: pages per block, hoisted for the per-write PPN arithmetic.
+        self._ppb = device.spec.pages_per_block
+        self._pipelined = discipline == "pipelined"
+        #: direct view of the chip write pointers (single-chip devices:
+        #: flat PBN == in-chip block), so the per-alloc fill checks are
+        #: one list index instead of a device -> chip delegation chain.
+        #: None on multi-chip devices — those fall back to next_page().
+        self._write_ptr: list[int] | None = (
+            device.chips[0].write_ptr if device.spec.num_chips == 1 else None
+        )
+
+    def _fill_of(self, pbn: int) -> int:
+        """The block's write pointer (next programmable page index)."""
+        write_ptr = self._write_ptr
+        if write_ptr is not None:
+            return write_ptr[pbn]
+        return self.device.next_page(pbn)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -87,16 +104,16 @@ class AreaAllocator:
 
     def alloc_page(self, want_fast: bool) -> int:
         """Return the PPN the next write of this speed class goes to."""
-        if self.discipline == "pipelined":
+        if self._pipelined:
             vb = self._alloc_pipelined(want_fast)
         else:
             vb = self._alloc_strict(want_fast)
-        page = self.device.next_page(vb.pbn)
-        if not vb.contains_page(page):
+        page = self._fill_of(vb.pbn)
+        if not vb.start_page <= page < vb.end_page:
             raise VirtualBlockError(
                 f"{self.area.value} area: write pointer {page} escaped {vb}"
             )
-        return self.device.geometry.first_ppn_of_pbn(vb.pbn) + page
+        return vb.pbn * self._ppb + page
 
     def _alloc_pipelined(self, want_fast: bool) -> VirtualBlock:
         """Pipelined discipline: serve both classes concurrently."""
@@ -146,7 +163,7 @@ class AreaAllocator:
         if (
             active is not None
             and active.state is VBState.ALLOCATED
-            and self.device.next_page(active.pbn) < active.end_page
+            and self._fill_of(active.pbn) < active.end_page
         ):
             return active
         pending = self._pending[is_fast]
@@ -181,7 +198,7 @@ class AreaAllocator:
         """
         if vb.area is not self.area:
             raise VirtualBlockError(f"{vb} does not belong to the {self.area.value} area")
-        if self.device.next_page(vb.pbn) < vb.end_page:
+        if self._fill_of(vb.pbn) < vb.end_page:
             return
         vb.state = VBState.USED
         if self._active[vb.is_fast] is vb:
@@ -205,7 +222,7 @@ class AreaAllocator:
         if (
             active is not None
             and active.state is VBState.ALLOCATED
-            and self.device.next_page(active.pbn) < active.end_page
+            and self._fill_of(active.pbn) < active.end_page
         ):
             return active.pbn
         pending = self._pending[is_fast]
@@ -226,7 +243,7 @@ class AreaAllocator:
         if (
             active is not None
             and active.state is VBState.ALLOCATED
-            and self.device.next_page(active.pbn) < active.end_page
+            and self._fill_of(active.pbn) < active.end_page
         ):
             return True
         return bool(self._pending[is_fast])

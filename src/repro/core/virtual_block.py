@@ -140,6 +140,15 @@ class VirtualBlockManager:
         except KeyError:
             raise VirtualBlockError(f"block {pbn} is not carved") from None
 
+    def slices_of(self, pbn: int) -> list[VirtualBlock] | None:
+        """The block's VBs in ascending page order, or None if not carved.
+
+        Non-raising twin of :meth:`vbs_of` for per-program hot paths:
+        the returned list is exactly the carve order, so the slice
+        holding page ``p`` is the first one with ``p < end_page``.
+        """
+        return self._carved.get(pbn)
+
     def vb_of_page(self, pbn: int, page: int) -> VirtualBlock:
         """The VB containing a given page index of a carved block."""
         for vb in self.vbs_of(pbn):

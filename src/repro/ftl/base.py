@@ -85,6 +85,24 @@ class BaseFTL(ReliabilityHost):
         #: logical op clock; used as the "now" for age-based GC policies
         #: and as the version component of page tags.
         self._op_sequence = 0
+        # Hot-path constants and caches: pages-per-block for inline PBN
+        # arithmetic, the page size for default write lengths, a reused
+        # GC write context, and a per-size cache of host write contexts
+        # (WriteContext is frozen, so sharing instances is safe).
+        self._ppb = self.spec.pages_per_block
+        self._page_size = self.spec.page_size
+        self._gc_ctx = WriteContext(nbytes=self.spec.page_size, is_gc=True)
+        self._host_ctx_cache: dict[int, WriteContext] = {}
+        # Skip the no-op policy-hook calls for subclasses that don't
+        # override them (the conventional baseline overrides neither).
+        cls = type(self)
+        self._has_read_hook = cls._on_host_read is not BaseFTL._on_host_read
+        self._has_write_hook = cls._on_host_write is not BaseFTL._on_host_write
+        #: direct view of the chip write pointers on single-chip devices
+        #: (flat PBN == in-chip block); None on multi-chip devices.
+        self._write_ptr: list[int] | None = (
+            device.chips[0].write_ptr if self.spec.num_chips == 1 else None
+        )
 
     # ------------------------------------------------------------------
     # Host API
@@ -98,18 +116,26 @@ class BaseFTL(ReliabilityHost):
         With a reliability engine attached, the returned latency also
         carries any ECC read-retry penalty of the physical page.
         """
-        self.map.check_lpn(lpn)
+        ftl_map = self.map
+        if not 0 <= lpn < ftl_map.num_lpns:
+            ftl_map.check_lpn(lpn)
         self._op_sequence += 1
-        ppn = self.map.ppn_of(lpn)
+        ppn = ftl_map.l2p[lpn]
         if ppn == UNMAPPED:
             self.stats.unmapped_reads += 1
             return 0.0
         latency = self.device.read_ppn(ppn)
-        latency += self._reliability_read_penalty(ppn)
-        self.stats.host_read_pages += 1
-        self.stats.host_read_us += latency
-        self._on_host_read(lpn, ppn)
-        self._reliability_tick(latency)
+        reliability = self.reliability
+        if reliability is not None:
+            latency += reliability.on_host_read(ppn)
+        stats = self.stats
+        stats.host_read_pages += 1
+        stats.host_read_us += latency
+        if self._has_read_hook:
+            self._on_host_read(lpn, ppn)
+        if reliability is not None:
+            reliability.advance_us(latency)
+            self._maybe_refresh()
         return latency
 
     def host_write(self, lpn: int, nbytes: int | None = None) -> float:
@@ -119,20 +145,49 @@ class BaseFTL(ReliabilityHost):
         write triggered; :attr:`stats` keeps the program time and the
         GC time in separate pools.
         """
-        self.map.check_lpn(lpn)
+        ftl_map = self.map
+        if not 0 <= lpn < ftl_map.num_lpns:
+            ftl_map.check_lpn(lpn)
         self._op_sequence += 1
         if nbytes is None:
-            nbytes = self.spec.page_size
-        gc_latency = self._ensure_space()
-        ctx = WriteContext(nbytes=nbytes, is_gc=False)
+            nbytes = self._page_size
+        if len(self.blocks.free_pool) > self.gc_low_blocks:
+            gc_latency = 0.0
+        else:
+            gc_latency = self._ensure_space()
+        ctx = self._host_ctx_cache.get(nbytes)
+        if ctx is None:
+            ctx = self._host_ctx_cache[nbytes] = WriteContext(nbytes=nbytes, is_gc=False)
         ppn = self._alloc_ppn(lpn, ctx)
         latency = self.device.program_ppn(ppn, tag=(lpn, self._op_sequence))
-        self._commit_mapping(lpn, ppn)
-        self.stats.host_write_pages += 1
-        self.stats.host_write_us += latency
-        self._note_if_full(ppn)
-        self._on_host_write(lpn, ppn, ctx)
-        self._reliability_tick(latency + gc_latency)
+        # Inlined _commit_mapping + _note_if_full (this is the hottest
+        # loop of every replay; keep the two helpers in sync).
+        pbn = ppn // self._ppb
+        old_ppn = ftl_map.remap(lpn, ppn)
+        blocks = self.blocks
+        blocks.note_program_valid(pbn)
+        reliability = self.reliability
+        if reliability is not None:
+            reliability.note_program(pbn)
+        if old_ppn != UNMAPPED:
+            blocks.note_invalidate(old_ppn // self._ppb)
+        stats = self.stats
+        stats.host_write_pages += 1
+        stats.host_write_us += latency
+        write_ptr = self._write_ptr
+        if (
+            write_ptr[pbn] == self._ppb
+            if write_ptr is not None
+            else self.device.is_block_full(pbn)
+        ):
+            blocks.note_full(pbn)
+            self.victim_policy.note_block_written(pbn, float(self._op_sequence))
+            self._on_block_full(pbn)
+        if self._has_write_hook:
+            self._on_host_write(lpn, ppn, ctx)
+        if reliability is not None:
+            reliability.advance_us(latency + gc_latency)
+            self._maybe_refresh()
         return latency + gc_latency
 
     def trim(self, lpn: int) -> None:
@@ -149,18 +204,31 @@ class BaseFTL(ReliabilityHost):
     # ------------------------------------------------------------------
 
     def _commit_mapping(self, lpn: int, ppn: int) -> None:
-        """Record the new copy and invalidate the superseded one."""
-        pbn = self.geometry.pbn_of_ppn(ppn)
+        """Record the new copy and invalidate the superseded one.
+
+        ``ppn`` was just programmed (the device command bounds-checked
+        it) and ``old_ppn`` was validated when it entered the map, so
+        the PBN arithmetic here is a plain division.
+        """
+        pbn = ppn // self._ppb
         old_ppn = self.map.remap(lpn, ppn)
-        self.blocks.note_program_valid(pbn)
-        self._reliability_note_program(pbn)
+        blocks = self.blocks
+        blocks.note_program_valid(pbn)
+        reliability = self.reliability
+        if reliability is not None:
+            reliability.note_program(pbn)
         if old_ppn != UNMAPPED:
-            self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old_ppn))
+            blocks.note_invalidate(old_ppn // self._ppb)
 
     def _note_if_full(self, ppn: int) -> None:
         """Flip the owning block to FULL when its last page was programmed."""
-        pbn = self.geometry.pbn_of_ppn(ppn)
-        if self.device.is_block_full(pbn):
+        pbn = ppn // self._ppb
+        write_ptr = self._write_ptr
+        if write_ptr is not None:
+            full = write_ptr[pbn] == self._ppb
+        else:
+            full = self.device.is_block_full(pbn)
+        if full:
             self.blocks.note_full(pbn)
             self.victim_policy.note_block_written(pbn, float(self._op_sequence))
             self._on_block_full(pbn)
@@ -207,23 +275,24 @@ class BaseFTL(ReliabilityHost):
 
     def _collect(self, victim: int) -> float:
         """Reclaim one block: relocate live pages, erase, release."""
-        self.stats.gc_runs += 1
+        stats = self.stats
+        stats.gc_runs += 1
         latency = 0.0
+        device = self.device
+        p2l = self.map.p2l
+        ctx = self._gc_ctx
         ppn_range = self.geometry.ppn_range_of_pbn(victim)
         live = self._relocation_order(self.map.valid_ppns_in(ppn_range))
         for ppn in live:
-            lpn = self.map.lpn_of(ppn)
+            lpn = p2l[ppn]
             # Copyback-style relocation: internal read + program, no bus.
-            read_us = self.device.read_ppn(ppn, include_transfer=False)
-            ctx = WriteContext(nbytes=self.spec.page_size, is_gc=True)
             dst = self._alloc_ppn(lpn, ctx)
-            tag = self.device.tag(ppn)
-            write_us = self.device.program_ppn(dst, tag=tag, include_transfer=False)
+            read_us, write_us = device.copy_page(ppn, dst)
             self._commit_mapping(lpn, dst)
             self._note_if_full(dst)
-            self.stats.gc_copied_pages += 1
-            self.stats.gc_read_us += read_us
-            self.stats.gc_write_us += write_us
+            stats.gc_copied_pages += 1
+            stats.gc_read_us += read_us
+            stats.gc_write_us += write_us
             latency += read_us + write_us
             self._on_gc_copy(lpn, ppn, dst)
         erase_us = self.device.erase_pbn(victim)

@@ -28,16 +28,29 @@ class BlockState(enum.IntEnum):
     FULL = 2
 
 
+#: Module-level int views of the states, for the per-op hot path (an
+#: IntEnum comparison costs an attribute walk + rich compare per call).
+_FREE, _OPEN, _FULL = int(BlockState.FREE), int(BlockState.OPEN), int(BlockState.FULL)
+
+
 class BlockManager:
-    """Tracks state, valid counts and the free pool for all blocks."""
+    """Tracks state, valid counts and the free pool for all blocks.
+
+    ``state`` and ``valid_count`` are flat Python lists of machine ints:
+    every host write touches them a few times (valid-count increment,
+    superseded-copy decrement), and list indexing is several times
+    cheaper than numpy scalar indexing at that granularity.  The GC-rate
+    queries (:meth:`victim_candidates`) still hand numpy arrays to the
+    victim policies.
+    """
 
     def __init__(self, num_blocks: int, pages_per_block: int) -> None:
         if num_blocks < 2:
             raise FtlError(f"need at least 2 blocks, got {num_blocks}")
         self.num_blocks = num_blocks
         self.pages_per_block = pages_per_block
-        self.state = np.full(num_blocks, int(BlockState.FREE), dtype=np.int8)
-        self.valid_count = np.zeros(num_blocks, dtype=np.int32)
+        self.state = [_FREE] * num_blocks
+        self.valid_count = [0] * num_blocks
         self.free_pool: deque[int] = deque(range(num_blocks))
 
     # ------------------------------------------------------------------
@@ -54,7 +67,7 @@ class BlockManager:
         if not self.free_pool:
             raise OutOfSpaceError("free block pool exhausted")
         pbn = self.free_pool.popleft()
-        self.state[pbn] = int(BlockState.OPEN)
+        self.state[pbn] = _OPEN
         return pbn
 
     def release(self, pbn: int) -> None:
@@ -62,9 +75,9 @@ class BlockManager:
         self._check(pbn)
         if self.valid_count[pbn] != 0:
             raise FtlError(
-                f"releasing block {pbn} with {int(self.valid_count[pbn])} valid pages"
+                f"releasing block {pbn} with {self.valid_count[pbn]} valid pages"
             )
-        self.state[pbn] = int(BlockState.FREE)
+        self.state[pbn] = _FREE
         self.free_pool.append(pbn)
 
     # ------------------------------------------------------------------
@@ -73,29 +86,33 @@ class BlockManager:
 
     def note_program_valid(self, pbn: int) -> None:
         """A page holding live data was programmed into ``pbn``."""
-        self._check(pbn)
-        self.valid_count[pbn] += 1
-        if self.valid_count[pbn] > self.pages_per_block:
+        if not 0 <= pbn < self.num_blocks:
+            self._check(pbn)
+        count = self.valid_count[pbn] + 1
+        if count > self.pages_per_block:
             raise FtlError(f"block {pbn} valid count exceeds pages per block")
+        self.valid_count[pbn] = count
 
     def note_invalidate(self, pbn: int) -> None:
         """A live page in ``pbn`` was superseded or trimmed."""
-        self._check(pbn)
-        if self.valid_count[pbn] <= 0:
+        if not 0 <= pbn < self.num_blocks:
+            self._check(pbn)
+        count = self.valid_count[pbn]
+        if count <= 0:
             raise FtlError(f"block {pbn} valid count would go negative")
-        self.valid_count[pbn] -= 1
+        self.valid_count[pbn] = count - 1
 
     def note_full(self, pbn: int) -> None:
         """The block's last page was programmed."""
         self._check(pbn)
-        self.state[pbn] = int(BlockState.FULL)
+        self.state[pbn] = _FULL
 
     def note_erased(self, pbn: int) -> None:
         """The block was erased (valid count must already be zero)."""
         self._check(pbn)
         if self.valid_count[pbn] != 0:
             raise FtlError(
-                f"erasing block {pbn} with {int(self.valid_count[pbn])} valid pages"
+                f"erasing block {pbn} with {self.valid_count[pbn]} valid pages"
             )
 
     # ------------------------------------------------------------------
@@ -105,26 +122,29 @@ class BlockManager:
     def state_of(self, pbn: int) -> BlockState:
         """Current lifecycle state."""
         self._check(pbn)
-        return BlockState(int(self.state[pbn]))
+        return BlockState(self.state[pbn])
 
     def valid_of(self, pbn: int) -> int:
         """Valid page count of the block."""
         self._check(pbn)
-        return int(self.valid_count[pbn])
+        return self.valid_count[pbn]
 
     def victim_candidates(self, exclude: set[int] | None = None) -> np.ndarray:
         """PBNs eligible for GC: FULL blocks, minus an exclusion set."""
-        mask = self.state == int(BlockState.FULL)
-        candidates = np.nonzero(mask)[0]
+        state = self.state
         if exclude:
-            candidates = np.array(
-                [int(c) for c in candidates if int(c) not in exclude], dtype=np.int64
-            )
-        return candidates
+            full = [
+                pbn
+                for pbn, s in enumerate(state)
+                if s == _FULL and pbn not in exclude
+            ]
+        else:
+            full = [pbn for pbn, s in enumerate(state) if s == _FULL]
+        return np.array(full, dtype=np.int64)
 
     def total_valid(self) -> int:
         """Sum of valid pages across all blocks (mapping cross-check)."""
-        return int(self.valid_count.sum())
+        return sum(self.valid_count)
 
     def _check(self, pbn: int) -> None:
         if not 0 <= pbn < self.num_blocks:

@@ -59,8 +59,7 @@ class ConventionalFTL(BaseFTL):
             pbn = self._ensure_active("_gc_active")
         else:
             pbn = self._ensure_active("_host_active")
-        page = self.device.next_page(pbn)
-        return self.geometry.first_ppn_of_pbn(pbn) + page
+        return pbn * self._ppb + self.device.next_page(pbn)
 
     def _ensure_active(self, attr: str) -> int:
         """Return the stream's active block, opening a new one if needed."""

@@ -97,40 +97,54 @@ class FastFTL(ReliabilityHost):
         With a reliability engine attached, the returned latency also
         carries any ECC read-retry penalty of the physical page.
         """
-        self.map.check_lpn(lpn)
+        ftl_map = self.map
+        if not 0 <= lpn < ftl_map.num_lpns:
+            ftl_map.check_lpn(lpn)
         self._op_sequence += 1
-        ppn = self.map.ppn_of(lpn)
+        ppn = ftl_map.l2p[lpn]
         if ppn == UNMAPPED:
             self.stats.unmapped_reads += 1
             return 0.0
         latency = self.device.read_ppn(ppn)
-        latency += self._reliability_read_penalty(ppn)
-        self.stats.host_read_pages += 1
-        self.stats.host_read_us += latency
-        self._reliability_tick(latency)
+        reliability = self.reliability
+        if reliability is not None:
+            latency += reliability.on_host_read(ppn)
+        stats = self.stats
+        stats.host_read_pages += 1
+        stats.host_read_us += latency
+        if reliability is not None:
+            reliability.advance_us(latency)
+            self._maybe_refresh()
         return latency
 
     def host_write(self, lpn: int, nbytes: int | None = None) -> float:
         """Service a one-page host write; returns latency (incl. merges)."""
-        self.map.check_lpn(lpn)
+        ftl_map = self.map
+        if not 0 <= lpn < ftl_map.num_lpns:
+            ftl_map.check_lpn(lpn)
         self._op_sequence += 1
         lbn, offset = divmod(lpn, self.pages_per_block)
         merge_latency = 0.0
+        seq_log = self._seq_log
         if offset == 0:
             merge_latency += self._open_seq_log(lbn)
             latency = self._append_seq(lpn)
         elif (
-            self._seq_log is not None
-            and self._seq_log[1] == lbn
-            and self.device.next_page(self._seq_log[0]) == offset
+            seq_log is not None
+            and seq_log[1] == lbn
+            and self.device.next_page(seq_log[0]) == offset
         ):
             latency = self._append_seq(lpn)
         else:
             extra, latency = self._append_random(lpn)
             merge_latency += extra
-        self.stats.host_write_pages += 1
-        self.stats.host_write_us += latency
-        self._reliability_tick(latency + merge_latency)
+        stats = self.stats
+        stats.host_write_pages += 1
+        stats.host_write_us += latency
+        reliability = self.reliability
+        if reliability is not None:
+            reliability.advance_us(latency + merge_latency)
+            self._maybe_refresh()
         return latency + merge_latency
 
     def trim(self, lpn: int) -> None:
@@ -165,8 +179,7 @@ class FastFTL(ReliabilityHost):
         if self._seq_log is None:
             raise FtlError("sequential append without an open sequential log")
         pbn, lbn = self._seq_log
-        page = self.device.next_page(pbn)
-        ppn = self.geometry.first_ppn_of_pbn(pbn) + page
+        ppn = pbn * self.pages_per_block + self.device.next_page(pbn)
         latency = self.device.program_ppn(ppn, tag=(lpn, self._op_sequence))
         self._commit(lpn, ppn)
         if self.device.is_block_full(pbn):
@@ -199,14 +212,16 @@ class FastFTL(ReliabilityHost):
         base_lpn = lbn * self.pages_per_block
         start = self.device.next_page(pbn)
         block_base = self.geometry.first_ppn_of_pbn(pbn)
-        for offset in range(start, self.pages_per_block):
+        l2p = self.map.l2p
+        pages = self.pages_per_block
+        for offset in range(start, pages):
             lpn = base_lpn + offset
             if lpn >= self.num_lpns:
                 break
-            src = self.map.ppn_of(lpn)
+            src = l2p[lpn]
             if src == UNMAPPED:
                 continue
-            if self.geometry.pbn_of_ppn(src) == pbn:
+            if src // pages == pbn:
                 continue
             latency += self._relocate(lpn, src, block_base + offset)
         self.blocks.note_full(pbn)
@@ -222,17 +237,16 @@ class FastFTL(ReliabilityHost):
     def _append_random(self, lpn: int) -> tuple[float, float]:
         """Append to the random log; returns (merge latency, program latency)."""
         merge_latency = 0.0
-        if self._active_log is None or self.device.is_block_full(self._active_log):
-            if self._active_log is not None:
-                self.blocks.note_full(self._active_log)
-                self._log_fifo.append(self._active_log)
+        pbn = self._active_log
+        if pbn is None or self.device.is_block_full(pbn):
+            if pbn is not None:
+                self.blocks.note_full(pbn)
+                self._log_fifo.append(pbn)
                 self._active_log = None
             while len(self._log_fifo) >= self.num_log_blocks:
                 merge_latency += self._merge_oldest_log()
-            self._active_log = self._allocate_block()
-        pbn = self._active_log
-        page = self.device.next_page(pbn)
-        ppn = self.geometry.first_ppn_of_pbn(pbn) + page
+            pbn = self._active_log = self._allocate_block()
+        ppn = pbn * self.pages_per_block + self.device.next_page(pbn)
         latency = self.device.program_ppn(ppn, tag=(lpn, self._op_sequence))
         self._commit(lpn, ppn)
         return merge_latency, latency
@@ -274,11 +288,12 @@ class FastFTL(ReliabilityHost):
         base_lpn = lbn * self.pages_per_block
         block_base = self.geometry.first_ppn_of_pbn(new_pbn)
         latency = 0.0
+        l2p = self.map.l2p
         for offset in range(self.pages_per_block):
             lpn = base_lpn + offset
             if lpn >= self.num_lpns:
                 break
-            src = self.map.ppn_of(lpn)
+            src = l2p[lpn]
             if src == UNMAPPED:
                 continue
             latency += self._relocate(lpn, src, block_base + offset)
@@ -301,22 +316,26 @@ class FastFTL(ReliabilityHost):
 
     def _relocate(self, lpn: int, src_ppn: int, dst_ppn: int) -> float:
         """Copy one live page (GC-style copyback accounting)."""
-        read_us = self.device.read_ppn(src_ppn, include_transfer=False)
-        tag = self.device.tag(src_ppn)
-        write_us = self.device.program_ppn(dst_ppn, tag=tag, include_transfer=False)
+        read_us, write_us = self.device.copy_page(src_ppn, dst_ppn)
         self._commit(lpn, dst_ppn)
-        self.stats.gc_copied_pages += 1
-        self.stats.gc_read_us += read_us
-        self.stats.gc_write_us += write_us
+        stats = self.stats
+        stats.gc_copied_pages += 1
+        stats.gc_read_us += read_us
+        stats.gc_write_us += write_us
         return read_us + write_us
 
     def _commit(self, lpn: int, ppn: int) -> None:
-        pbn = self.geometry.pbn_of_ppn(ppn)
+        # ppn was just programmed (device bounds-checked); old was
+        # validated when it entered the map — plain divisions suffice.
+        pages = self.pages_per_block
         old = self.map.remap(lpn, ppn)
-        self.blocks.note_program_valid(pbn)
-        self._reliability_note_program(pbn)
+        blocks = self.blocks
+        blocks.note_program_valid(ppn // pages)
+        reliability = self.reliability
+        if reliability is not None:
+            reliability.note_program(ppn // pages)
         if old != UNMAPPED:
-            self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old))
+            blocks.note_invalidate(old // pages)
 
     def _retire_data_block(self, lbn: int) -> None:
         """Erase + release the LBN's old data block (now fully invalid)."""

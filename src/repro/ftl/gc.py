@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ftl.blockinfo import BlockManager
+from repro.ftl.blockinfo import BlockManager, BlockState
+
+#: int view of FULL for the greedy policy's per-GC scan.
+_FULL_STATE = int(BlockState.FULL)
 
 
 class VictimPolicy:
@@ -51,11 +54,27 @@ class GreedyVictimPolicy(VictimPolicy):
         exclude: set[int] | None = None,
         now: float = 0.0,
     ) -> int | None:
-        candidates = blocks.victim_candidates(exclude)
-        if candidates.size == 0:
-            return None
-        valid = blocks.valid_count[candidates]
-        return int(candidates[int(np.argmin(valid))])
+        # Scan the python state lists directly: candidates ascend, ties
+        # resolve to the lowest PBN — exactly np.argmin's first-hit rule
+        # over victim_candidates(), without materializing the arrays.
+        valid_count = blocks.valid_count
+        best_pbn = -1
+        best_valid = blocks.pages_per_block + 1
+        if exclude:
+            for pbn, state in enumerate(blocks.state):
+                if state == _FULL_STATE and pbn not in exclude:
+                    valid = valid_count[pbn]
+                    if valid < best_valid:
+                        best_valid = valid
+                        best_pbn = pbn
+        else:
+            for pbn, state in enumerate(blocks.state):
+                if state == _FULL_STATE:
+                    valid = valid_count[pbn]
+                    if valid < best_valid:
+                        best_valid = valid
+                        best_pbn = pbn
+        return best_pbn if best_pbn >= 0 else None
 
 
 class CostBenefitVictimPolicy(VictimPolicy):

@@ -1,16 +1,20 @@
 """Page-level logical-to-physical mapping.
 
-Backed by numpy arrays so devices with millions of pages stay cheap:
-``l2p[lpn]`` holds the PPN of the newest copy of a logical page (or -1),
-``p2l[ppn]`` holds the LPN stored at a physical page *if that copy is
-still valid* (or -1).  The two arrays are exact inverses over valid
-entries — an invariant the property-based tests assert after every
-random workload.
+Backed by flat Python lists: ``l2p[lpn]`` holds the PPN of the newest
+copy of a logical page (or -1), ``p2l[ppn]`` holds the LPN stored at a
+physical page *if that copy is still valid* (or -1).  The two arrays
+are exact inverses over valid entries — an invariant the property-based
+tests assert after every random workload.
+
+The tables used to be numpy arrays; the replay hot path reads and
+writes one scalar entry per host operation, where a numpy scalar index
+costs several times a list index (boxing an ``np.int64`` each time).
+Plain lists of machine ints keep the per-op cost at one ``LOAD`` — the
+bulk helpers (:meth:`valid_ppns_in`, :meth:`check_consistency`) stay
+cheap because they slice the list once per *block*, not per page.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.errors import MappingError
 
@@ -28,8 +32,8 @@ class PageMapTable:
             )
         self.num_lpns = num_lpns
         self.num_ppns = num_ppns
-        self.l2p = np.full(num_lpns, UNMAPPED, dtype=np.int64)
-        self.p2l = np.full(num_ppns, UNMAPPED, dtype=np.int64)
+        self.l2p = [UNMAPPED] * num_lpns
+        self.p2l = [UNMAPPED] * num_ppns
         self.mapped_count = 0
 
     # ------------------------------------------------------------------
@@ -42,13 +46,13 @@ class PageMapTable:
     def ppn_of(self, lpn: int) -> int:
         """Current PPN of a logical page, or -1 if unmapped."""
         self.check_lpn(lpn)
-        return int(self.l2p[lpn])
+        return self.l2p[lpn]
 
     def lpn_of(self, ppn: int) -> int:
         """LPN whose *valid* copy lives at ``ppn``, or -1."""
         if not 0 <= ppn < self.num_ppns:
             raise MappingError(f"PPN {ppn} out of range [0, {self.num_ppns})")
-        return int(self.p2l[ppn])
+        return self.p2l[ppn]
 
     def is_mapped(self, lpn: int) -> bool:
         """Whether the logical page currently has a valid physical copy."""
@@ -69,24 +73,26 @@ class PageMapTable:
         self.check_lpn(lpn)
         if not 0 <= new_ppn < self.num_ppns:
             raise MappingError(f"PPN {new_ppn} out of range [0, {self.num_ppns})")
-        existing = int(self.p2l[new_ppn])
+        p2l = self.p2l
+        existing = p2l[new_ppn]
         if existing != UNMAPPED:
             raise MappingError(
                 f"PPN {new_ppn} already holds valid data for LPN {existing}"
             )
-        old_ppn = int(self.l2p[lpn])
+        l2p = self.l2p
+        old_ppn = l2p[lpn]
         if old_ppn != UNMAPPED:
-            self.p2l[old_ppn] = UNMAPPED
+            p2l[old_ppn] = UNMAPPED
         else:
             self.mapped_count += 1
-        self.l2p[lpn] = new_ppn
-        self.p2l[new_ppn] = lpn
+        l2p[lpn] = new_ppn
+        p2l[new_ppn] = lpn
         return old_ppn
 
     def unmap(self, lpn: int) -> int:
         """Drop the mapping for ``lpn`` (TRIM); returns the old PPN or -1."""
         self.check_lpn(lpn)
-        old_ppn = int(self.l2p[lpn])
+        old_ppn = self.l2p[lpn]
         if old_ppn != UNMAPPED:
             self.l2p[lpn] = UNMAPPED
             self.p2l[old_ppn] = UNMAPPED
@@ -94,11 +100,14 @@ class PageMapTable:
         return old_ppn
 
     def clear_ppn(self, ppn: int) -> None:
-        """Forget the reverse entry for an erased physical page.
+        """Assert-only guard: erasing ``ppn``'s block must not lose data.
 
-        Used when a block is erased while still holding *invalid* data;
-        valid entries must be migrated first, so clearing a valid entry
-        is an error.
+        The reverse entry of an *invalid* page is already ``UNMAPPED``
+        (both :meth:`remap` and :meth:`unmap` clear it when the copy is
+        superseded), so there is nothing to forget here; callers erasing
+        a block may invoke this per page purely as a cheap safety net.
+        Clearing a page that still holds the newest copy of an LPN would
+        silently lose data, so that is the one thing this refuses.
         """
         if self.is_valid_ppn(ppn):
             raise MappingError(f"refusing to clear PPN {ppn}: still holds valid data")
@@ -107,23 +116,23 @@ class PageMapTable:
 
     def valid_ppns_in(self, ppn_range: range) -> list[int]:
         """Valid PPNs within a range (used by GC to find live pages)."""
-        chunk = self.p2l[ppn_range.start : ppn_range.stop]
-        offsets = np.nonzero(chunk != UNMAPPED)[0]
-        return [ppn_range.start + int(o) for o in offsets]
+        start = ppn_range.start
+        chunk = self.p2l[start : ppn_range.stop]
+        return [start + o for o, lpn in enumerate(chunk) if lpn != UNMAPPED]
 
     def check_consistency(self) -> None:
         """Assert l2p/p2l are mutual inverses (test support, O(pages))."""
-        mapped = np.nonzero(self.l2p != UNMAPPED)[0]
-        for lpn in mapped:
-            ppn = int(self.l2p[lpn])
-            if int(self.p2l[ppn]) != int(lpn):
-                raise MappingError(
-                    f"l2p[{lpn}]={ppn} but p2l[{ppn}]={int(self.p2l[ppn])}"
-                )
-        valid = np.nonzero(self.p2l != UNMAPPED)[0]
-        if len(valid) != len(mapped):
+        p2l = self.p2l
+        mapped = [
+            (lpn, ppn) for lpn, ppn in enumerate(self.l2p) if ppn != UNMAPPED
+        ]
+        for lpn, ppn in mapped:
+            if p2l[ppn] != lpn:
+                raise MappingError(f"l2p[{lpn}]={ppn} but p2l[{ppn}]={p2l[ppn]}")
+        valid = sum(1 for lpn in p2l if lpn != UNMAPPED)
+        if valid != len(mapped):
             raise MappingError(
-                f"{len(mapped)} mapped LPNs but {len(valid)} valid PPNs"
+                f"{len(mapped)} mapped LPNs but {valid} valid PPNs"
             )
         if self.mapped_count != len(mapped):
             raise MappingError(

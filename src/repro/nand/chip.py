@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
 from repro.errors import (
     AddressError,
     ProgramOrderError,
@@ -37,25 +35,40 @@ from repro.nand.stats import EraseHistogram, NandStats
 
 
 class NandChip:
-    """One NAND die: blocks of pages with asymmetric per-page latency."""
+    """One NAND die: blocks of pages with asymmetric per-page latency.
+
+    The per-block state (write pointer, programmed bitmap, erase count)
+    lives in flat Python lists/bytearrays: a trace replay issues one
+    read or program per simulated page, and at that granularity numpy
+    scalar indexing costs more than the whole remaining command.  The
+    address checks stay, but as inline range compares that only fall
+    into the raising helpers off the happy path.
+    """
 
     def __init__(self, chip_id: int, spec: NandSpec, latency: LatencyModel | None = None) -> None:
         self.chip_id = chip_id
         self.spec = spec
         self.latency = latency if latency is not None else LatencyModel(spec)
+        self._num_blocks = spec.blocks_per_chip
+        self._num_pages = spec.pages_per_block
         #: lowest page index still programmable, per block; == pages_per_block
         #: means no page of the block can be programmed until erase.
-        self.write_ptr = np.zeros(spec.blocks_per_chip, dtype=np.int32)
-        #: which pages hold data (True between program and erase).
-        self.programmed = np.zeros(
-            (spec.blocks_per_chip, spec.pages_per_block), dtype=bool
-        )
+        self.write_ptr: list[int] = [0] * spec.blocks_per_chip
+        #: which pages hold data (nonzero between program and erase).
+        self.programmed: list[bytearray] = [
+            bytearray(spec.pages_per_block) for _ in range(spec.blocks_per_chip)
+        ]
         #: lifetime erase count per block.
-        self.erase_counts = np.zeros(spec.blocks_per_chip, dtype=np.int64)
+        self.erase_counts: list[int] = [0] * spec.blocks_per_chip
         #: opaque per-page tags: block -> {page: tag}; populated lazily.
         self._tags: dict[int, dict[int, Any]] = {}
         self.stats = NandStats()
         self.erase_histogram = EraseHistogram()
+        # Hot-path views of the latency tables (see LatencyModel).
+        self._read_total_us = self.latency.read_total_us
+        self._read_array_us = self.latency.read_array_us
+        self._program_total_us = self.latency.program_total_us
+        self._program_array_us = self.latency.program_array_us
 
     # ------------------------------------------------------------------
     # Address checks
@@ -81,15 +94,21 @@ class NandChip:
 
     def read(self, block: int, page: int, include_transfer: bool = True) -> float:
         """Read one page; returns the latency in microseconds."""
-        self._check_block(block)
-        self._check_page(page)
-        if not self.programmed[block, page]:
+        if not 0 <= block < self._num_blocks:
+            self._check_block(block)
+        if not 0 <= page < self._num_pages:
+            self._check_page(page)
+        if not self.programmed[block][page]:
             raise ReadFreePageError(
                 f"chip {self.chip_id}: read of unprogrammed page "
                 f"(block {block}, page {page})"
             )
-        latency = self.latency.read_us(page, include_transfer=include_transfer)
-        self.stats.record_read(latency)
+        latency = (
+            self._read_total_us[page] if include_transfer else self._read_array_us[page]
+        )
+        stats = self.stats
+        stats.reads += 1
+        stats.read_us += latency
         return latency
 
     def program(
@@ -107,27 +126,83 @@ class NandChip:
         pointer has already been programmed or permanently skipped for
         this erase cycle).
         """
-        self._check_block(block)
-        self._check_page(page)
-        expected = int(self.write_ptr[block])
+        if not 0 <= block < self._num_blocks:
+            self._check_block(block)
+        if not 0 <= page < self._num_pages:
+            self._check_page(page)
+        expected = self.write_ptr[block]
         if page < expected:
             raise ProgramOrderError(
                 f"chip {self.chip_id}: non-ascending program of block {block}: "
                 f"got page {page}, write pointer at {expected}"
             )
         self.write_ptr[block] = page + 1
-        self.programmed[block, page] = True
+        self.programmed[block][page] = 1
         if tag is not None:
-            self._tags.setdefault(block, {})[page] = tag
-        latency = self.latency.program_us(page, include_transfer=include_transfer)
-        self.stats.record_program(latency)
+            tags = self._tags.get(block)
+            if tags is None:
+                tags = self._tags[block] = {}
+            tags[page] = tag
+        latency = (
+            self._program_total_us[page]
+            if include_transfer
+            else self._program_array_us[page]
+        )
+        stats = self.stats
+        stats.programs += 1
+        stats.program_us += latency
         return latency
+
+    def copyback(
+        self, src_block: int, src_page: int, dst_block: int, dst_page: int
+    ) -> tuple[float, float]:
+        """Internal read + program relocating one page within this chip.
+
+        Equivalent to ``read(src, include_transfer=False)`` followed by
+        ``program(dst, tag=tag(src), include_transfer=False)`` — same
+        checks, same stats, same latencies — fused into one call because
+        GC/merge relocation is the hottest multi-command sequence a
+        replay issues.  Returns ``(read_us, program_us)``.
+        """
+        if not 0 <= src_block < self._num_blocks:
+            self._check_block(src_block)
+        if not 0 <= src_page < self._num_pages:
+            self._check_page(src_page)
+        if not 0 <= dst_block < self._num_blocks:
+            self._check_block(dst_block)
+        if not 0 <= dst_page < self._num_pages:
+            self._check_page(dst_page)
+        if not self.programmed[src_block][src_page]:
+            raise ReadFreePageError(
+                f"chip {self.chip_id}: read of unprogrammed page "
+                f"(block {src_block}, page {src_page})"
+            )
+        expected = self.write_ptr[dst_block]
+        if dst_page < expected:
+            raise ProgramOrderError(
+                f"chip {self.chip_id}: non-ascending program of block {dst_block}: "
+                f"got page {dst_page}, write pointer at {expected}"
+            )
+        read_us = self._read_array_us[src_page]
+        src_tags = self._tags.get(src_block)
+        tag = src_tags.get(src_page) if src_tags is not None else None
+        self.write_ptr[dst_block] = dst_page + 1
+        self.programmed[dst_block][dst_page] = 1
+        if tag is not None:
+            self._tags.setdefault(dst_block, {})[dst_page] = tag
+        program_us = self._program_array_us[dst_page]
+        stats = self.stats
+        stats.reads += 1
+        stats.read_us += read_us
+        stats.programs += 1
+        stats.program_us += program_us
+        return read_us, program_us
 
     def erase(self, block: int) -> float:
         """Erase a block; returns the latency in microseconds."""
         self._check_block(block)
         self.write_ptr[block] = 0
-        self.programmed[block, :] = False
+        self.programmed[block] = bytearray(self._num_pages)
         self.erase_counts[block] += 1
         self._tags.pop(block, None)
         latency = self.latency.erase_us()
@@ -143,25 +218,30 @@ class NandChip:
         """Whether the page currently holds data."""
         self._check_block(block)
         self._check_page(page)
-        return bool(self.programmed[block, page])
+        return bool(self.programmed[block][page])
 
     def is_block_full(self, block: int) -> bool:
         """Whether the block has no programmable pages left this cycle."""
-        self._check_block(block)
-        return int(self.write_ptr[block]) == self.spec.pages_per_block
+        if not 0 <= block < self._num_blocks:
+            self._check_block(block)
+        return self.write_ptr[block] == self._num_pages
 
     def next_page(self, block: int) -> int:
         """Next programmable page index of the block (== pages_per_block if full)."""
-        self._check_block(block)
-        return int(self.write_ptr[block])
+        if not 0 <= block < self._num_blocks:
+            self._check_block(block)
+        return self.write_ptr[block]
 
     def tag(self, block: int, page: int) -> Any:
         """Tag stored when the page was programmed (None if untagged)."""
-        self._check_block(block)
-        self._check_page(page)
-        return self._tags.get(block, {}).get(page)
+        if not 0 <= block < self._num_blocks:
+            self._check_block(block)
+        if not 0 <= page < self._num_pages:
+            self._check_page(page)
+        tags = self._tags.get(block)
+        return tags.get(page) if tags is not None else None
 
     def erase_count(self, block: int) -> int:
         """Lifetime erase count of the block."""
         self._check_block(block)
-        return int(self.erase_counts[block])
+        return self.erase_counts[block]

@@ -26,6 +26,20 @@ class NandDevice:
         self.geometry = Geometry(spec)
         self.latency = LatencyModel(spec)
         self.chips = [NandChip(i, spec, self.latency) for i in range(spec.num_chips)]
+        # Address-arithmetic constants, hoisted so the per-op commands
+        # below stay free of the old double delegation through
+        # Geometry.split_ppn (two extra function calls per simulated op).
+        self._pages_per_block = spec.pages_per_block
+        self._blocks_per_chip = spec.blocks_per_chip
+        self._total_pages = spec.total_pages
+        self._total_blocks = spec.total_blocks
+        if spec.num_chips == 1:
+            # Single-chip devices (every spec the paper sweeps) can skip
+            # the chip-select divmod for the block-addressed queries:
+            # flat PBN == in-chip block, so the chip methods — whose own
+            # range checks subsume check_pbn — are bound directly.
+            self.next_page = self.chips[0].next_page  # type: ignore[method-assign]
+            self.is_block_full = self.chips[0].is_block_full  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Flat-address commands (hot path)
@@ -33,13 +47,46 @@ class NandDevice:
 
     def read_ppn(self, ppn: int, include_transfer: bool = True) -> float:
         """Read the page at flat address ``ppn``; returns latency (us)."""
-        chip, block, page = self.geometry.split_ppn(ppn)
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        pbn, page = divmod(ppn, self._pages_per_block)
+        chip, block = divmod(pbn, self._blocks_per_chip)
         return self.chips[chip].read(block, page, include_transfer=include_transfer)
 
     def program_ppn(self, ppn: int, tag: Any = None, include_transfer: bool = True) -> float:
         """Program the page at flat address ``ppn``; returns latency (us)."""
-        chip, block, page = self.geometry.split_ppn(ppn)
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        pbn, page = divmod(ppn, self._pages_per_block)
+        chip, block = divmod(pbn, self._blocks_per_chip)
         return self.chips[chip].program(block, page, tag=tag, include_transfer=include_transfer)
+
+    def copy_page(self, src_ppn: int, dst_ppn: int) -> tuple[float, float]:
+        """Copyback relocation: internal read of ``src_ppn`` + program of
+        its tag into ``dst_ppn``, no bus transfers.
+
+        Byte-for-byte equivalent to the ``read_ppn`` / ``tag`` /
+        ``program_ppn`` triple GC and merges used to issue, fused into
+        one command; falls back to the triple when the pages live on
+        different chips (off-chip copyback needs the bus-free internal
+        move modeled per chip).  Returns ``(read_us, program_us)``.
+        """
+        if not 0 <= src_ppn < self._total_pages:
+            self.geometry.check_ppn(src_ppn)
+        if not 0 <= dst_ppn < self._total_pages:
+            self.geometry.check_ppn(dst_ppn)
+        src_pbn, src_page = divmod(src_ppn, self._pages_per_block)
+        dst_pbn, dst_page = divmod(dst_ppn, self._pages_per_block)
+        src_chip, src_block = divmod(src_pbn, self._blocks_per_chip)
+        dst_chip, dst_block = divmod(dst_pbn, self._blocks_per_chip)
+        if src_chip == dst_chip:
+            return self.chips[src_chip].copyback(src_block, src_page, dst_block, dst_page)
+        read_us = self.chips[src_chip].read(src_block, src_page, include_transfer=False)
+        tag = self.chips[src_chip].tag(src_block, src_page)
+        program_us = self.chips[dst_chip].program(
+            dst_block, dst_page, tag=tag, include_transfer=False
+        )
+        return read_us, program_us
 
     def erase_pbn(self, pbn: int) -> float:
         """Erase the block at flat address ``pbn``; returns latency (us)."""
@@ -57,17 +104,24 @@ class NandDevice:
 
     def is_block_full(self, pbn: int) -> bool:
         """Whether every page of block ``pbn`` is programmed."""
-        chip, block = self.geometry.split_pbn(pbn)
+        if not 0 <= pbn < self._total_blocks:
+            self.geometry.check_pbn(pbn)
+        chip, block = divmod(pbn, self._blocks_per_chip)
         return self.chips[chip].is_block_full(block)
 
     def next_page(self, pbn: int) -> int:
         """Next programmable page index of block ``pbn``."""
-        chip, block = self.geometry.split_pbn(pbn)
+        if not 0 <= pbn < self._total_blocks:
+            self.geometry.check_pbn(pbn)
+        chip, block = divmod(pbn, self._blocks_per_chip)
         return self.chips[chip].next_page(block)
 
     def tag(self, ppn: int) -> Any:
         """Tag stored at ``ppn`` when it was programmed."""
-        chip, block, page = self.geometry.split_ppn(ppn)
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        pbn, page = divmod(ppn, self._pages_per_block)
+        chip, block = divmod(pbn, self._blocks_per_chip)
         return self.chips[chip].tag(block, page)
 
     def erase_count(self, pbn: int) -> int:

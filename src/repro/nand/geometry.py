@@ -62,21 +62,24 @@ class Geometry:
             raise AddressError(f"block {block} out of range [0, {self.blocks_per_chip})")
         return chip * self.blocks_per_chip + block
 
-    # -- Flat helpers ---------------------------------------------------
+    # -- Flat helpers (hot path: inline range check, arithmetic only) ---
 
     def pbn_of_ppn(self, ppn: int) -> int:
         """Physical block number that contains ``ppn``."""
-        self.check_ppn(ppn)
+        if not 0 <= ppn < self.total_pages:
+            self.check_ppn(ppn)
         return ppn // self.pages_per_block
 
     def page_of_ppn(self, ppn: int) -> int:
         """Page index inside the block for ``ppn`` (drives access speed)."""
-        self.check_ppn(ppn)
+        if not 0 <= ppn < self.total_pages:
+            self.check_ppn(ppn)
         return ppn % self.pages_per_block
 
     def first_ppn_of_pbn(self, pbn: int) -> int:
         """PPN of page 0 of the given block."""
-        self.check_pbn(pbn)
+        if not 0 <= pbn < self.total_blocks:
+            self.check_pbn(pbn)
         return pbn * self.pages_per_block
 
     def ppn_range_of_pbn(self, pbn: int) -> range:

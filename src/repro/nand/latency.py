@@ -87,6 +87,28 @@ class LatencyModel:
         program_multipliers = 1.0 + (self.multipliers - 1.0) * spec.program_asymmetry
         self.program_us_by_page: np.ndarray = spec.program_us * program_multipliers
         self._page_transfer_us = spec.transfer_us(spec.page_size)
+        # Flat per-page-index lookup tables for the replay hot path:
+        # plain Python floats, with and without the bus transfer, built
+        # from exactly the sums the scalar queries used to compute (so
+        # per-op results are bit-identical, minus the numpy scalar
+        # boxing that dominated the old per-read cost).
+        transfer = self._page_transfer_us
+        #: array-read latency per page index (no transfer), plain floats.
+        self.read_array_us: list[float] = [float(t) for t in self.read_us_by_page]
+        #: full read latency per page index (array + transfer).
+        self.read_total_us: list[float] = [
+            float(t + transfer) for t in self.read_us_by_page
+        ]
+        self.program_array_us: list[float] = [
+            float(t) for t in self.program_us_by_page
+        ]
+        self.program_total_us: list[float] = [
+            float(t + transfer) for t in self.program_us_by_page
+        ]
+        #: cost of ONE ECC retry step per page index (array read + transfer).
+        self.retry_step_us: list[float] = [
+            float(t) + transfer for t in self.read_us_by_page
+        ]
 
     # ------------------------------------------------------------------
     # Scalar queries (hot path: called once per simulated page op)
@@ -94,13 +116,15 @@ class LatencyModel:
 
     def read_us(self, page_index: int, include_transfer: bool = True) -> float:
         """Latency of reading one page at ``page_index`` within its block."""
-        t = self.read_us_by_page[page_index]
-        return float(t + self._page_transfer_us) if include_transfer else float(t)
+        if include_transfer:
+            return self.read_total_us[page_index]
+        return self.read_array_us[page_index]
 
     def program_us(self, page_index: int, include_transfer: bool = True) -> float:
         """Latency of programming one page at ``page_index``."""
-        t = self.program_us_by_page[page_index]
-        return float(t + self._page_transfer_us) if include_transfer else float(t)
+        if include_transfer:
+            return self.program_total_us[page_index]
+        return self.program_array_us[page_index]
 
     def retry_read_us(self, page_index: int, steps: int) -> float:
         """Extra latency of ``steps`` ECC read-retry attempts on a page.
@@ -114,7 +138,7 @@ class LatencyModel:
         """
         if steps <= 0:
             return 0.0
-        return steps * (float(self.read_us_by_page[page_index]) + self._page_transfer_us)
+        return steps * self.retry_step_us[page_index]
 
     def erase_us(self) -> float:
         """Block erase latency (layer-independent)."""

@@ -16,13 +16,27 @@ spatial variation x retention x wear, pushed through the ECC model to a
 retry-step count, and priced with the page's own asymmetric read
 latency.  The whole stack is optional — an FTL built without a manager
 is byte-for-byte the latency-only simulator.
+
+Hot-path design
+---------------
+:meth:`on_host_read` runs once per mapped host read, so its state lives
+in flat Python lists (numpy scalar indexing costs more than the whole
+model evaluation) and the common case — fresh data whose worst page
+needs zero retries — is a single float comparison against a per-block
+*safe deadline*: the simulation time until which the block's worst page
+provably decodes without retries.  The deadline is a conservative
+analytic bound (see :meth:`_refresh_safe_deadline`), cached per block
+and invalidated lazily by erase, first-program, shelf-aging, and — when
+read disturb is enabled — by the read counter crossing the lookahead
+window the bound was computed for.  Reads past the deadline fall back
+to the exact model, so results are bit-identical either way (the
+golden-run tests pin this).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.errors import ConfigError
 from repro.nand.device import NandDevice
@@ -30,6 +44,19 @@ from repro.reliability.disturb import ReadDisturbModel
 from repro.reliability.ecc import EccModel
 from repro.reliability.retention import RetentionModel
 from repro.reliability.variation import VariationModel
+
+#: With read disturb enabled, a block's safe deadline is computed
+#: assuming up to this many further reads of the block; the deadline is
+#: recomputed when the counter crosses the window.
+DISTURB_LOOKAHEAD_READS = 1024
+
+#: Relative safety margin on the zero-retry RBER target.  The analytic
+#: deadline bound is exact in real arithmetic; this margin (many orders
+#: of magnitude above accumulated float rounding, many below anything
+#: physically meaningful) keeps it conservative in floating point, so
+#: the fast path can never claim zero retries where the exact model
+#: would find one.
+_SAFE_MARGIN = 1e-9
 
 
 @dataclass(frozen=True)
@@ -190,15 +217,35 @@ class ReliabilityManager:
         #: simulation clock in seconds, advanced by the owning FTL.
         self.now_s = 0.0
         #: when each block's current erase cycle was first programmed.
-        self._program_time_s = np.zeros(total_blocks, dtype=np.float64)
+        self._program_time_s: list[float] = [0.0] * total_blocks
         #: whether the block holds data this erase cycle (timestamp valid).
-        self._stamped = np.zeros(total_blocks, dtype=bool)
+        self._stamped: list[bool] = [False] * total_blocks
         #: program/erase cycles seen by this manager.
-        self._pe_cycles = np.zeros(total_blocks, dtype=np.int64)
+        self._pe_cycles: list[int] = [0] * total_blocks
         #: host reads of each block since its last erase (read disturb).
-        self._block_reads = np.zeros(total_blocks, dtype=np.int64)
+        self._block_reads: list[int] = [0] * total_blocks
         self.stats = ReliabilityStats()
         self._pages_per_block = self.spec.pages_per_block
+        # -- flat spatial-multiplier caches (tentpole fast path) --------
+        variation = self.variation
+        #: per-block lognormal multiplier, plain floats.
+        self._block_mult: list[float] = [float(m) for m in variation.block_multipliers]
+        #: per-page-index layer multiplier, plain floats.
+        self._page_mult: list[float] = [float(m) for m in variation.page_multipliers]
+        page_mult_max = variation.page_multipliers.max()
+        #: per-block worst-page spatial multiplier (refresh triage +
+        #: safe-deadline bound); same product the VariationModel computes.
+        self._worst_mult: list[float] = [
+            float(b * page_mult_max) for b in variation.block_multipliers
+        ]
+        #: per-block wear factor cache, updated on erase (pure function
+        #: of the P/E count, so caching cannot drift).
+        self._pe_factor: list[float] = [1.0] * total_blocks
+        #: per-block simulation-time deadline below which the worst page
+        #: needs zero retries; None = needs (re)computation.
+        self._safe_until_s: list[float | None] = [None] * total_blocks
+        #: read-counter ceiling each deadline was computed for.
+        self._safe_reads_hi: list[int] = [0] * total_blocks
 
     # ------------------------------------------------------------------
     # Clock and lifecycle notifications (called by the FTL)
@@ -213,6 +260,7 @@ class ReliabilityManager:
         if not self._stamped[pbn]:
             self._stamped[pbn] = True
             self._program_time_s[pbn] = self.now_s
+            self._safe_until_s[pbn] = None
 
     def note_erase(self, pbn: int) -> None:
         """Block ``pbn`` was erased; one more P/E cycle, clocks cleared.
@@ -220,9 +268,12 @@ class ReliabilityManager:
         The erase also resets the block's read-disturb accumulation —
         the physical cells are reprogrammed from scratch.
         """
-        self._pe_cycles[pbn] += 1
+        pe = self._pe_cycles[pbn] + 1
+        self._pe_cycles[pbn] = pe
         self._stamped[pbn] = False
         self._block_reads[pbn] = 0
+        self._pe_factor[pbn] = self.retention.pe_factor(pe)
+        self._safe_until_s[pbn] = None
 
     def age_all(self, extra_age_s: float) -> None:
         """Pre-age all currently-written data by ``extra_age_s`` seconds.
@@ -234,7 +285,11 @@ class ReliabilityManager:
         """
         if extra_age_s < 0:
             raise ConfigError(f"extra_age_s must be >= 0, got {extra_age_s}")
-        self._program_time_s[self._stamped] -= extra_age_s
+        program_time = self._program_time_s
+        for pbn, stamped in enumerate(self._stamped):
+            if stamped:
+                program_time[pbn] -= extra_age_s
+        self._safe_until_s = [None] * len(program_time)
 
     def reset_stats(self) -> None:
         """Zero the accounting (after warm fill)."""
@@ -248,37 +303,48 @@ class ReliabilityManager:
         """Retention age in seconds of the block's oldest data this cycle."""
         if not self._stamped[pbn]:
             return 0.0
-        return self.now_s - float(self._program_time_s[pbn])
+        return self.now_s - self._program_time_s[pbn]
 
     def pe_cycles_of(self, pbn: int) -> int:
         """P/E cycles the manager has seen for ``pbn``."""
-        return int(self._pe_cycles[pbn])
+        return self._pe_cycles[pbn]
 
     def reads_of(self, pbn: int) -> int:
         """Host reads of ``pbn`` since its last erase (disturb count)."""
-        return int(self._block_reads[pbn])
+        return self._block_reads[pbn]
 
     def rber_of(self, pbn: int, page_index: int) -> float:
         """Instantaneous RBER of one physical page."""
-        spatial = self.variation.multiplier(pbn, page_index)
-        temporal = self.retention.combined_factor(
-            self.age_of(pbn), self.pe_cycles_of(pbn)
-        )
+        spatial = self._block_mult[pbn] * self._page_mult[page_index]
+        temporal = self.retention.retention_factor(self.age_of(pbn)) * self._pe_factor[pbn]
         rber = self.config.base_rber * spatial * temporal
         if self.disturb.enabled:
-            rber *= self.disturb.factor(int(self._block_reads[pbn]))
+            rber *= self.disturb.factor(self._block_reads[pbn])
         return rber
 
     def predicted_block_retries(self, pbn: int) -> tuple[int, bool]:
         """Retry steps the block's *worst* page would need right now."""
         rber = (
             self.config.base_rber
-            * self.variation.worst_page_multiplier(pbn)
-            * self.retention.combined_factor(self.age_of(pbn), self.pe_cycles_of(pbn))
+            * self._worst_mult[pbn]
+            * (self.retention.retention_factor(self.age_of(pbn)) * self._pe_factor[pbn])
         )
         if self.disturb.enabled:
-            rber *= self.disturb.factor(int(self._block_reads[pbn]))
+            rber *= self.disturb.factor(self._block_reads[pbn])
         return self.ecc.retries_needed(rber)
+
+    def worst_page_is_safe(self, pbn: int) -> bool:
+        """O(1) check that the block's worst page needs zero retries now.
+
+        The refresh policy's scan uses this to skip healthy blocks
+        without evaluating the retention exponentials; ``False`` only
+        means "not provably safe" — the caller then runs the exact
+        :meth:`predicted_block_retries`.
+        """
+        safe_until = self._safe_until_s[pbn]
+        if safe_until is None or self._block_reads[pbn] >= self._safe_reads_hi[pbn]:
+            safe_until = self._refresh_safe_deadline(pbn)
+        return self.now_s <= safe_until
 
     # ------------------------------------------------------------------
     # Per-read penalty (hot path)
@@ -293,8 +359,27 @@ class ReliabilityManager:
         pbn, page = divmod(ppn, self._pages_per_block)
         stats = self.stats
         stats.checked_reads += 1
-        rber = self.rber_of(pbn, page)
-        self._block_reads[pbn] += 1
+        block_reads = self._block_reads
+        reads = block_reads[pbn]
+        # Fast path: inside the block's safe window even the worst page
+        # decodes with zero retries, so this page certainly does.
+        safe_until = self._safe_until_s[pbn]
+        if safe_until is None or reads >= self._safe_reads_hi[pbn]:
+            safe_until = self._refresh_safe_deadline(pbn)
+        if self.now_s <= safe_until:
+            block_reads[pbn] = reads + 1
+            return 0.0
+        # Exact path: same arithmetic, in the same order, as rber_of.
+        if self._stamped[pbn]:
+            age_s = self.now_s - self._program_time_s[pbn]
+        else:
+            age_s = 0.0
+        spatial = self._block_mult[pbn] * self._page_mult[page]
+        temporal = self.retention.retention_factor(age_s) * self._pe_factor[pbn]
+        rber = self.config.base_rber * spatial * temporal
+        if self.disturb.enabled:
+            rber *= self.disturb.factor(reads)
+        block_reads[pbn] = reads + 1
         steps, uncorrectable = self.ecc.retries_needed(rber)
         if not steps and not uncorrectable:
             return 0.0
@@ -307,6 +392,79 @@ class ReliabilityManager:
             extra += self.config.uncorrectable_penalty_us
         stats.retry_us += extra
         return extra
+
+    # ------------------------------------------------------------------
+    # Safe-deadline bound (the zero-retry fast path)
+    # ------------------------------------------------------------------
+
+    def _refresh_safe_deadline(self, pbn: int) -> float:
+        """Recompute and cache the block's zero-retry deadline.
+
+        Returns the simulation time until which the block's *worst*
+        page provably needs zero ECC retries, i.e. the latest ``t`` with
+
+            base_rber * worst_mult * pe_factor * disturb_hi
+                * retention_factor(t - program_time) <= rber_limit
+
+        where ``disturb_hi`` is the read-disturb factor at the current
+        read count plus :data:`DISTURB_LOOKAHEAD_READS` (the deadline is
+        invalidated when the counter crosses that window).  The age
+        threshold comes from closed-form *lower* bounds on the inverse
+        retention curve — ``1 - exp(-x) <= min(1, x)`` and
+        ``log1p(x) <= x`` — shrunk by :data:`_SAFE_MARGIN`, so the fast
+        path is conservative: every read it answers with 0.0 would get
+        0.0 from the exact model too (reads between the bound and the
+        true threshold just take the exact path).
+        """
+        reads = self._block_reads[pbn]
+        disturb = self.disturb
+        if disturb.enabled:
+            reads_hi = reads + DISTURB_LOOKAHEAD_READS
+            disturb_factor = disturb.factor(reads_hi)
+        else:
+            reads_hi = 1 << 62
+            disturb_factor = 1.0
+        self._safe_reads_hi[pbn] = reads_hi
+        static_rber = (
+            self.config.base_rber
+            * self._worst_mult[pbn]
+            * self._pe_factor[pbn]
+            * disturb_factor
+        )
+        target = self.ecc.rber_limit * (1.0 - _SAFE_MARGIN)
+        if static_rber <= 0.0:
+            # Null model (or zero base RBER): never any retries.
+            deadline = math.inf
+        elif static_rber > target:
+            # Even at age 0 the worst page is past the zero-retry limit.
+            deadline = -math.inf
+        elif not self._stamped[pbn]:
+            # Age is pinned at 0 until the next program restamps it.
+            deadline = math.inf
+        else:
+            ratio = target / static_rber  # >= 1: retention budget left
+            retention = self.retention
+            budget = ratio - 1.0
+            # Small-age bound: retention_factor(a) <= 1 + a * slope.
+            slope = retention.fast_amp / retention.fast_tau_s + (
+                retention.slow_amp / retention.slow_tau_s
+            )
+            threshold = budget / slope if slope > 0.0 else math.inf
+            # Large-age bound: once the fast phase is saturated,
+            # retention_factor(a) <= 1 + fast_amp + slow_amp * log1p(a/slow_tau).
+            log_budget = budget - retention.fast_amp
+            if log_budget > 0.0 and retention.slow_amp > 0.0:
+                threshold = max(
+                    threshold,
+                    retention.slow_tau_s * math.expm1(log_budget / retention.slow_amp),
+                )
+            elif log_budget > 0.0:
+                # No slow-growth term: past the fast amplitude the
+                # factor can never reach the target.
+                threshold = math.inf
+            deadline = self._program_time_s[pbn] + threshold
+        self._safe_until_s[pbn] = deadline
+        return deadline
 
     # ------------------------------------------------------------------
     # Refresh accounting (called by the FTL's refresh driver)

@@ -79,10 +79,15 @@ class RefreshPolicy:
         if not candidates.size:
             return []
         manager = self.manager
+        # With a non-negative budget, a block inside its zero-retry safe
+        # window can never be due (steps == 0); the O(1) deadline check
+        # skips the retention exponentials for the healthy majority.
+        fast_skip = self.retry_budget >= 0
         urgencies: list[tuple[int, int]] = []
-        for pbn in candidates:
-            pbn = int(pbn)
+        for pbn in candidates.tolist():
             if not self._in_scan(pbn):
+                continue
+            if fast_skip and manager.worst_page_is_safe(pbn):
                 continue
             steps, uncorrectable = manager.predicted_block_retries(pbn)
             if uncorrectable or steps > self.retry_budget:

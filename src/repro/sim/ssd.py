@@ -64,6 +64,25 @@ class RunResult:
     #: strategy-specific counters snapshot.
     extra: dict[str, float] = field(default_factory=dict)
 
+    def response_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of the timed-mode response times (us).
+
+        Empty dict in sequential mode (no queueing, so per-request
+        latency is just service time and the percentiles would repeat
+        ``mean_read_page_us``-style information).  Linear interpolation
+        between order statistics, matching ``numpy.percentile``'s
+        default method.
+        """
+        times = self.response_times_us
+        if not times:
+            return {}
+        ordered = sorted(times)
+        return {
+            "p50_us": _quantile(ordered, 0.50),
+            "p95_us": _quantile(ordered, 0.95),
+            "p99_us": _quantile(ordered, 0.99),
+        }
+
     @property
     def read_seconds(self) -> float:
         """Total read latency in seconds (the paper's Fig. 13/14 axis)."""
@@ -83,6 +102,17 @@ class RunResult:
         )
 
 
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted list."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
 class SSD:
     """Byte-addressed front end over an FTL."""
 
@@ -92,24 +122,36 @@ class SSD:
         self.ftl = ftl
         self.page_size = page_size
         self.capacity_bytes = ftl.num_lpns * page_size
+        #: hoisted for the per-request loop in :meth:`service`.
+        self._num_lpns = ftl.num_lpns
 
     # ------------------------------------------------------------------
     # Single-request service
     # ------------------------------------------------------------------
 
     def service(self, request: IORequest) -> float:
-        """Service one request; returns its latency in microseconds."""
+        """Service one request; returns its latency in microseconds.
+
+        The page range is computed and clamped to the logical capacity
+        once per request (the old per-LPN bounds check re-read
+        ``ftl.num_lpns`` every iteration of the hot loop).
+        """
+        page_size = self.page_size
+        first = request.offset // page_size
+        last = (request.offset + request.size - 1) // page_size
+        max_lpn = self._num_lpns - 1
+        if last > max_lpn:
+            last = max_lpn
         latency = 0.0
         if request.is_read:
-            for lpn in request.pages(self.page_size):
-                if lpn >= self.ftl.num_lpns:
-                    break
-                latency += self.ftl.host_read(lpn)
+            host_read = self.ftl.host_read
+            for lpn in range(first, last + 1):
+                latency += host_read(lpn)
         else:
-            for lpn in request.pages(self.page_size):
-                if lpn >= self.ftl.num_lpns:
-                    break
-                latency += self.ftl.host_write(lpn, nbytes=request.size)
+            host_write = self.ftl.host_write
+            size = request.size
+            for lpn in range(first, last + 1):
+                latency += host_write(lpn, nbytes=size)
         return latency
 
     # ------------------------------------------------------------------
@@ -127,8 +169,9 @@ class SSD:
             raise ConfigError(f"fraction must be in [0,1], got {fraction}")
         limit = int(self.ftl.num_lpns * fraction)
         nbytes = chunk_pages * self.page_size
+        host_write = self.ftl.host_write
         for lpn in range(limit):
-            self.ftl.host_write(lpn, nbytes=nbytes)
+            host_write(lpn, nbytes=nbytes)
         self._reset_stats()
 
     def _reset_stats(self) -> None:
@@ -156,15 +199,23 @@ class SSD:
 
     def _replay_sequential(self, trace: Trace) -> RunResult:
         result = self._base_result(trace)
-        for request in trace:
-            latency = self.service(request)
-            result.num_requests += 1
+        service = self.service
+        num_requests = read_requests = write_requests = 0
+        read_us = write_us = 0.0
+        for request in trace.requests:
+            latency = service(request)
+            num_requests += 1
             if request.is_read:
-                result.read_requests += 1
-                result.read_us += latency
+                read_requests += 1
+                read_us += latency
             else:
-                result.write_requests += 1
-                result.write_us += latency
+                write_requests += 1
+                write_us += latency
+        result.num_requests = num_requests
+        result.read_requests = read_requests
+        result.write_requests = write_requests
+        result.read_us = read_us
+        result.write_us = write_us
         self._finalize(result)
         return result
 

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import TraceError
 
 
@@ -132,17 +134,40 @@ class Trace:
         device: offsets wrap modulo the capacity (aligned down), sizes
         are clamped so requests never cross the end of the device.  This
         mirrors how trace-driven flash simulators shrink MSRC traces.
+
+        The offset arithmetic is vectorized over the whole trace, and
+        requests the wrap leaves untouched (the common case when the
+        generator already targeted a footprint inside the device) are
+        reused rather than reconstructed — ``IORequest`` validation per
+        request used to dominate replay setup on big traces.
         """
         if capacity_bytes <= 0:
             raise TraceError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        requests = self.requests
+        name = f"{self.name}[fit {capacity_bytes // 2**20}MiB]"
+        if not requests:
+            return Trace([], name=name)
+        count = len(requests)
+        offsets = np.fromiter((r.offset for r in requests), dtype=np.int64, count=count)
+        sizes = np.fromiter((r.size for r in requests), dtype=np.int64, count=count)
+        new_offsets = (offsets % capacity_bytes) // align * align
+        new_sizes = np.minimum(sizes, capacity_bytes - new_offsets)
+        changed = (new_offsets != offsets) | (new_sizes != sizes)
+        if not changed.any():
+            return Trace(requests, name=name)
         fitted: list[IORequest] = []
-        for req in self.requests:
-            offset = (req.offset % capacity_bytes) // align * align
-            size = min(req.size, capacity_bytes - offset)
+        offsets_list = new_offsets.tolist()
+        sizes_list = new_sizes.tolist()
+        changed_list = changed.tolist()
+        for i, req in enumerate(requests):
+            if not changed_list[i]:
+                fitted.append(req)
+                continue
+            size = sizes_list[i]
             if size <= 0:
                 continue
-            fitted.append(IORequest(req.op, offset, size, req.timestamp_us))
-        return Trace(fitted, name=f"{self.name}[fit {capacity_bytes // 2**20}MiB]")
+            fitted.append(IORequest(req.op, offsets_list[i], size, req.timestamp_us))
+        return Trace(fitted, name=name)
 
     def head(self, n: int) -> "Trace":
         """First ``n`` requests as a new trace."""

@@ -101,3 +101,35 @@ class TestConsistency:
             else:
                 table.unmap(lpn)
         table.check_consistency()
+
+
+class TestClearPpn:
+    """clear_ppn is an assert-only guard for block erase paths."""
+
+    def test_clearing_invalid_page_is_a_no_op(self, table):
+        # Never-written pages have no reverse entry to forget.
+        table.clear_ppn(5)
+        assert table.lpn_of(5) == UNMAPPED
+
+    def test_superseded_copy_is_already_cleared(self, table):
+        table.remap(3, 10)
+        table.remap(3, 11)  # supersedes PPN 10
+        # remap already forgot the reverse entry, so the guard passes...
+        table.clear_ppn(10)
+        assert table.lpn_of(10) == UNMAPPED
+        # ...and the map is still consistent.
+        table.check_consistency()
+
+    def test_trimmed_page_is_already_cleared(self, table):
+        table.remap(3, 10)
+        table.unmap(3)
+        table.clear_ppn(10)
+        assert table.lpn_of(10) == UNMAPPED
+
+    def test_clearing_valid_page_refuses(self, table):
+        table.remap(3, 10)
+        with pytest.raises(MappingError):
+            table.clear_ppn(10)
+        # The refusal must not have damaged the mapping.
+        assert table.ppn_of(3) == 10
+        table.check_consistency()

@@ -1,0 +1,134 @@
+"""The safe-deadline fast path never disagrees with the exact model.
+
+:meth:`ReliabilityManager.on_host_read` answers the common case (fresh
+data, zero retries) from a cached per-block deadline instead of the
+full RBER model.  These tests hammer the boundary: for every read, the
+expected penalty is first derived from the *pure* model functions
+(``rber_of`` -> ``EccModel.retries_needed`` -> ``retry_read_us``), then
+compared to what the fast-pathed ``on_host_read`` returns — across
+random clock advances, erases, re-programs, shelf-aging and disturb
+accumulation, including ages engineered to straddle the zero-retry
+threshold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.reliability.manager import (
+    DISTURB_LOOKAHEAD_READS,
+    ReliabilityConfig,
+    ReliabilityManager,
+)
+
+
+def reference_penalty(manager: ReliabilityManager, ppn: int) -> float:
+    """The penalty the pre-optimization per-read model computes."""
+    pbn, page = divmod(ppn, manager.spec.pages_per_block)
+    rber = manager.rber_of(pbn, page)
+    steps, uncorrectable = manager.ecc.retries_needed(rber)
+    if not steps and not uncorrectable:
+        return 0.0
+    extra = manager.device.latency.retry_read_us(page, steps)
+    if uncorrectable:
+        extra += manager.config.uncorrectable_penalty_us
+    return extra
+
+
+def make_manager(**overrides) -> ReliabilityManager:
+    config = ReliabilityConfig(**overrides)
+    return ReliabilityManager(NandDevice(tiny_spec()), config)
+
+
+@pytest.mark.parametrize("disturb_coeff", [0.0, 8.0])
+def test_fast_path_matches_exact_model_under_churn(disturb_coeff):
+    manager = make_manager(disturb_coeff=disturb_coeff)
+    rng = random.Random(1234)
+    pages = manager.spec.pages_per_block
+    blocks = manager.spec.total_blocks
+    stamped: set[int] = set()
+    for _ in range(4000):
+        roll = rng.random()
+        pbn = rng.randrange(blocks)
+        if roll < 0.08:
+            manager.note_erase(pbn)
+            stamped.discard(pbn)
+        elif roll < 0.30:
+            manager.note_program(pbn)
+            stamped.add(pbn)
+        elif roll < 0.36:
+            manager.age_all(rng.choice([0.0, 3600.0, 86400.0, 720 * 3600.0]))
+        elif roll < 0.45:
+            # Jump the clock by anything from microseconds to a month.
+            manager.advance_us(10 ** rng.uniform(0, 12.5))
+        elif stamped:
+            pbn = rng.choice(sorted(stamped))
+            ppn = pbn * pages + rng.randrange(pages)
+            expected = reference_penalty(manager, ppn)
+            assert manager.on_host_read(ppn) == expected
+
+
+def test_fast_path_matches_at_the_retry_threshold():
+    """Scan ages densely around the zero-retry boundary."""
+    manager = make_manager()
+    pbn = 3
+    manager.note_program(pbn)
+    pages = manager.spec.pages_per_block
+    # Find an age bracket where the worst page starts needing retries.
+    for age_s in [base * 10**exp for exp in range(0, 8) for base in (1.0, 2.0, 5.0)]:
+        manager.now_s = age_s
+        for page in range(0, pages, 3):
+            ppn = pbn * pages + page
+            expected = reference_penalty(manager, ppn)
+            assert manager.on_host_read(ppn) == expected, (age_s, page)
+
+
+def test_disturb_lookahead_window_invalidates():
+    """Crossing the lookahead window recomputes the deadline correctly."""
+    manager = make_manager(disturb_coeff=50.0, disturb_exponent=1.5)
+    pbn = 1
+    manager.note_program(pbn)
+    manager.advance_us(3600.0 * 1e6)  # one simulated hour
+    pages = manager.spec.pages_per_block
+    ppn = pbn * pages + (pages - 1)
+    for _ in range(2 * DISTURB_LOOKAHEAD_READS + 5):
+        expected = reference_penalty(manager, ppn)
+        assert manager.on_host_read(ppn) == expected
+
+
+def test_null_model_never_pays():
+    manager = make_manager(
+        variation_profile="uniform", block_sigma=0.0, base_rber=0.0
+    )
+    manager.note_program(0)
+    manager.age_all(10 * 365 * 24 * 3600.0)
+    pages = manager.spec.pages_per_block
+    for page in range(pages):
+        assert manager.on_host_read(page) == 0.0
+    assert manager.stats.checked_reads == pages
+    assert manager.stats.retry_steps == 0
+
+
+def test_worst_page_safe_is_conservative():
+    """worst_page_is_safe == True must imply zero predicted retries."""
+    manager = make_manager(disturb_coeff=8.0)
+    rng = random.Random(7)
+    blocks = manager.spec.total_blocks
+    for _ in range(600):
+        pbn = rng.randrange(blocks)
+        roll = rng.random()
+        if roll < 0.2:
+            manager.note_erase(pbn)
+        elif roll < 0.5:
+            manager.note_program(pbn)
+        elif roll < 0.6:
+            manager.age_all(rng.choice([0.0, 7200.0, 2000 * 3600.0]))
+        else:
+            manager.advance_us(10 ** rng.uniform(3, 12))
+        if manager.worst_page_is_safe(pbn):
+            steps, uncorrectable = manager.predicted_block_retries(pbn)
+            assert steps == 0 and not uncorrectable

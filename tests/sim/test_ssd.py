@@ -115,3 +115,48 @@ class TestWarmFill:
     def test_bad_fraction_rejected(self, ssd):
         with pytest.raises(ConfigError):
             ssd.warm_fill(1.5)
+
+
+class TestResponsePercentiles:
+    def test_sequential_mode_has_no_percentiles(self, ssd):
+        page = ssd.page_size
+        trace = Trace([IORequest(OpType.WRITE, 0, page)])
+        result = ssd.replay(trace, mode="sequential")
+        assert result.response_percentiles() == {}
+
+    def test_timed_mode_reports_percentiles(self, ssd):
+        page = ssd.page_size
+        trace = Trace(
+            [IORequest(OpType.WRITE, i * page, page, 0.0) for i in range(8)]
+        )
+        result = ssd.replay(trace, mode="timed")
+        percentiles = result.response_percentiles()
+        assert set(percentiles) == {"p50_us", "p95_us", "p99_us"}
+        ordered = sorted(result.response_times_us)
+        assert percentiles["p50_us"] >= ordered[0]
+        assert percentiles["p99_us"] <= ordered[-1]
+        assert (
+            percentiles["p50_us"] <= percentiles["p95_us"] <= percentiles["p99_us"]
+        )
+
+    def test_quantile_interpolation_matches_numpy_linear(self):
+        import numpy as np
+
+        from repro.sim.ssd import RunResult
+
+        times = [5.0, 1.0, 9.0, 3.0, 7.0]
+        result = RunResult(ftl_name="x", trace_name="y", response_times_us=times)
+        percentiles = result.response_percentiles()
+        assert percentiles["p50_us"] == pytest.approx(np.percentile(times, 50))
+        assert percentiles["p95_us"] == pytest.approx(np.percentile(times, 95))
+        assert percentiles["p99_us"] == pytest.approx(np.percentile(times, 99))
+
+    def test_single_sample(self):
+        from repro.sim.ssd import RunResult
+
+        result = RunResult(ftl_name="x", trace_name="y", response_times_us=[4.2])
+        assert result.response_percentiles() == {
+            "p50_us": 4.2,
+            "p95_us": 4.2,
+            "p99_us": 4.2,
+        }

@@ -124,3 +124,30 @@ class TestSweepValidation:
             reliability_diverts=0,
         )
         assert point.aged_penalty == pytest.approx(0.5)
+
+
+class TestParallelSweep:
+    """workers > 1 prefetches the grid; the report must be identical."""
+
+    def test_parallel_sweep_matches_sequential(self, report):
+        parallel_runner = ReplayRunner(workers=2)
+        parallel = run_placement_sweep(SMOKE, runner=parallel_runner)
+        # Same rows (every numeric cell is formatted from replay output,
+        # so equality here means the replays were byte-identical) and
+        # the same title (which renders the memo's ran/saved counters,
+        # so the hit/miss accounting matches single-process execution).
+        assert parallel.rows == report.rows
+        assert parallel.title == report.title
+        assert parallel.all_checks_pass == report.all_checks_pass
+        # Every unique spec ran exactly once, in the pool.
+        from repro.bench.placement import sweep_specs
+
+        assert parallel_runner.stats.misses == len(set(sweep_specs(SMOKE)))
+
+    def test_sweep_specs_enumerates_the_grid(self):
+        from repro.bench.placement import sweep_specs
+
+        specs = sweep_specs(SMOKE)
+        points = len(SMOKE.speed_ratios) * len(SMOKE.skews)
+        assert len(specs) == points * (2 + len(SMOKE.weights))
+        assert len(set(specs)) == len(specs)
