@@ -14,6 +14,9 @@ The package provides, from the bottom up:
   blocks, hot/cold areas);
 * :mod:`repro.sim` — a discrete-event simulation kernel and the SSD
   front end used for trace replay;
+* :mod:`repro.scenario` — the declarative experiment layer: one frozen
+  :class:`~repro.scenario.spec.ScenarioSpec` to configure, serialize
+  (JSON/TOML), sweep (dotted field paths) and cache every run;
 * :mod:`repro.bench` — the harness regenerating every table and figure
   of the paper's evaluation.
 
@@ -21,6 +24,9 @@ Quickstart::
 
     from repro import quick_comparison
     print(quick_comparison())
+
+    from repro import ScenarioSpec, run_scenario
+    result = run_scenario(ScenarioSpec(ftl="ppb", num_requests=4000))
 """
 
 from repro.core.config import PPBConfig
@@ -29,6 +35,14 @@ from repro.ftl.conventional import ConventionalFTL
 from repro.ftl.fast import FastFTL
 from repro.nand.device import NandDevice
 from repro.nand.spec import NandSpec, sim_spec, table1_spec, tiny_spec
+from repro.scenario import (
+    ScenarioSpec,
+    SweepAxis,
+    load_scenario_file,
+    run_scenario,
+    run_scenarios,
+    sweep,
+)
 from repro.sim.replay import replay_trace
 from repro.sim.ssd import SSD, RunResult
 from repro.traces.record import IORequest, OpType, Trace
@@ -53,6 +67,12 @@ __all__ = [
     "SSD",
     "RunResult",
     "replay_trace",
+    "ScenarioSpec",
+    "SweepAxis",
+    "load_scenario_file",
+    "run_scenario",
+    "run_scenarios",
+    "sweep",
     "IORequest",
     "OpType",
     "Trace",

@@ -20,19 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.bench.memo import ReplayRunner
 from repro.core.config import PPBConfig
-from repro.errors import ConfigError
 from repro.nand.spec import NandSpec, sim_spec
-from repro.sim.replay import replay_trace
+from repro.scenario.spec import ScenarioSpec
 from repro.traces.record import Trace
-from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
-
-#: workload name -> generator class.
-WORKLOADS = {
-    "media-server": MediaServerWorkload,
-    "web-sql": WebSqlWorkload,
-    "uniform": UniformWorkload,
-}
 
 
 @dataclass(frozen=True)
@@ -93,6 +85,23 @@ class Cell:
         """A modified copy (convenience for sweeps)."""
         return replace(self, **changes)
 
+    def scenario(self) -> ScenarioSpec:
+        """Factory: the canonical :class:`ScenarioSpec` this cell runs.
+
+        A cell *is* a scenario with figure-friendly defaults; expressing
+        it this way routes every figure through the same spec-keyed
+        memo (and config file format) as the sweeps.
+        """
+        return ScenarioSpec(
+            workload=self.workload,
+            num_requests=self.scale.num_requests,
+            footprint_fraction=self.footprint_fraction,
+            seed=self.seed,
+            device=self.spec(),
+            ftl=self.ftl,
+            ppb=self.ppb_config() if self.ftl == "ppb" else None,
+        )
+
 
 @dataclass
 class CellResult:
@@ -127,10 +136,17 @@ class CellResult:
 
 
 class ExperimentRunner:
-    """Executes cells with trace and result memoization."""
+    """Executes cells with trace and result memoization.
 
-    def __init__(self) -> None:
-        self._traces: dict[tuple, Trace] = {}
+    A thin figure-facing adapter over the spec-keyed
+    :class:`~repro.bench.memo.ReplayRunner`: each cell converts to its
+    :meth:`Cell.scenario` and the shared runner memoizes traces and
+    replays, so figures, sweeps and scenario files all draw from one
+    cache substrate.
+    """
+
+    def __init__(self, replay_runner: ReplayRunner | None = None) -> None:
+        self._replays = replay_runner or ReplayRunner()
         self._results: dict[Cell, CellResult] = {}
 
     # ------------------------------------------------------------------
@@ -142,36 +158,13 @@ class ExperimentRunner:
         page size, speed ratio or FTL — so a page-size study replays the
         byte-identical request stream, as the paper's Fig. 12 requires.
         """
-        spec = cell.spec()
-        footprint = int(spec.logical_bytes * cell.footprint_fraction)
-        key = (cell.workload, cell.scale.num_requests, footprint, cell.seed)
-        if key not in self._traces:
-            try:
-                workload_cls = WORKLOADS[cell.workload]
-            except KeyError:
-                raise ConfigError(
-                    f"unknown workload {cell.workload!r}; choose from {sorted(WORKLOADS)}"
-                ) from None
-            generator = workload_cls(
-                num_requests=cell.scale.num_requests,
-                footprint_bytes=footprint,
-                seed=cell.seed,
-            )
-            self._traces[key] = generator.generate()
-        return self._traces[key]
+        return self._replays.trace_for(cell.scenario())
 
     def run(self, cell: Cell) -> CellResult:
         """Run (or fetch) one cell."""
         if cell in self._results:
             return self._results[cell]
-        trace = self.trace_for(cell)
-        run = replay_trace(
-            trace,
-            cell.spec(),
-            ftl_kind=cell.ftl,
-            ppb_config=cell.ppb_config() if cell.ftl == "ppb" else None,
-            warm_fill_fraction=cell.footprint_fraction,
-        )
+        run = self._replays.run(cell.scenario())
         ftl = run.ftl  # type: ignore[attr-defined]
         fast_fraction = (
             ftl.fast_page_read_fraction()

@@ -1,19 +1,21 @@
-"""Memoized trace replays: never run the same simulation twice.
+"""Memoized scenario replays: never run the same simulation twice.
 
-:class:`~repro.bench.experiment.ExperimentRunner` memoizes *figure
-cells* because the paper's figures share underlying runs.  The sweep
-scenarios (``repro reliability``, ``repro placement``) have the same
-shape one level down: a sweep point varies one knob (retention age,
-placement weight) while its *baseline* replays — the latency-only
-reference, the speed-oblivious FTLs, pure-speed PPB — do not depend on
-that knob and would otherwise be replayed identically at every point.
+The sweep scenarios (``repro reliability``, ``repro placement``, the
+generic ``repro sweep``) share a shape: a sweep point varies one knob
+(retention age, placement weight) while its *baseline* replays — the
+latency-only reference, the speed-oblivious FTLs, pure-speed PPB — do
+not depend on that knob and would otherwise be replayed identically at
+every point.
 
-:class:`ReplaySpec` freezes every knob a replay can vary (the workload
-and its generator kwargs, the device geometry, the FTL and its PPB
-config, the reliability stack and pre-aging), making a replay hashable;
-:class:`ReplayRunner` executes specs on demand, caches traces by their
-generator parameters and results by the full spec, and counts hits and
-misses so the scenarios can *prove* no identical replay ran twice.
+The **canonical cache key is the**
+:class:`~repro.scenario.spec.ScenarioSpec` itself: frozen, hashable and
+total, so two requests collide exactly when they describe the same
+simulation.  :class:`ReplayRunner` executes specs on demand, caches
+traces by :meth:`ScenarioSpec.trace_key` and results by the full spec,
+and counts hits and misses so the scenarios can *prove* no identical
+replay ran twice.  :class:`ReplaySpec` survives as a thin compatibility
+shim that converts itself to a ``ScenarioSpec`` (older call sites and
+pickled sweep code constructed it directly).
 
 Parallel execution
 ------------------
@@ -26,6 +28,13 @@ single-process execution regardless of scheduling; ``workers=1`` (the
 default) never spawns a pool and behaves exactly as before.  Worker
 processes build their own traces, so :attr:`ReplayMemoStats.trace_builds`
 counts only parent-side builds.
+
+The pool is created lazily on the first parallel batch and then **kept
+alive across** :meth:`run_many` calls, so a CLI invocation that runs
+several sweeps (or a sweep plus its baselines) pays the worker spawn
+cost once.  Call :meth:`close` (or use the runner as a context manager)
+to release the workers deterministically; a garbage-collected runner
+shuts its pool down too.
 """
 
 from __future__ import annotations
@@ -38,22 +47,22 @@ from repro.core.config import PPBConfig
 from repro.errors import ConfigError
 from repro.nand.spec import NandSpec, sim_spec
 from repro.reliability.manager import ReliabilityConfig
-from repro.sim.replay import replay_trace
+from repro.scenario.run import build_trace, execute_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.sim.ssd import RunResult
 from repro.traces.record import Trace
-from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
-
-#: workload name -> generator class (the shared registry).
-WORKLOADS = {
-    "media-server": MediaServerWorkload,
-    "web-sql": WebSqlWorkload,
-    "uniform": UniformWorkload,
-}
+from repro.traces.workloads import WORKLOADS
 
 
 @dataclass(frozen=True)
 class ReplaySpec:
-    """One fully-specified, hashable trace replay."""
+    """One fully-specified, hashable trace replay (compatibility shim).
+
+    Predates :class:`~repro.scenario.spec.ScenarioSpec`, which is now
+    the canonical experiment description and cache key;
+    :meth:`to_scenario` performs the lossless conversion and every
+    :class:`ReplayRunner` entry point accepts either type.
+    """
 
     workload: str = "web-sql"
     num_requests: int = 8_000
@@ -71,7 +80,7 @@ class ReplaySpec:
     reliability: ReliabilityConfig | None = None
     refresh: bool = False
     retention_age_s: float = 0.0
-    #: shelf-age-then-re-read phase (see ``replay_trace``).
+    #: shelf-age-then-re-read phase (see ``execute_scenario``).
     reread_age_s: float = 0.0
 
     def __post_init__(self) -> None:
@@ -89,24 +98,42 @@ class ReplaySpec:
             blocks_per_chip=self.blocks_per_chip,
         )
 
-    def trace_key(self) -> tuple:
-        """What the replayed trace depends on — deliberately *not* the
-        FTL, speed ratio or reliability knobs, so every variant at one
-        sweep point replays the byte-identical request stream."""
-        footprint = int(self.device_spec().logical_bytes * self.footprint_fraction)
-        return (
-            self.workload,
-            self.num_requests,
-            footprint,
-            self.seed,
-            self.workload_kwargs,
+    def to_scenario(self) -> ScenarioSpec:
+        """The canonical :class:`ScenarioSpec` this shim describes."""
+        return ScenarioSpec(
+            workload=self.workload,
+            num_requests=self.num_requests,
+            workload_kwargs=self.workload_kwargs,
+            footprint_fraction=self.footprint_fraction,
+            seed=self.seed,
+            device=self.device_spec(),
+            ftl=self.ftl,
+            ppb=self.ppb,
+            reliability=self.reliability,
+            refresh=self.refresh,
+            retention_age_s=self.retention_age_s,
+            reread_age_s=self.reread_age_s,
         )
+
+    def trace_key(self) -> tuple:
+        """What the replayed trace depends on (see ``ScenarioSpec.trace_key``)."""
+        return self.to_scenario().trace_key()
 
     def with_(self, **changes: object) -> "ReplaySpec":
         """A modified copy (convenience for sweeps)."""
         import dataclasses
 
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+def _as_scenario(spec: ScenarioSpec | ReplaySpec) -> ScenarioSpec:
+    if isinstance(spec, ReplaySpec):
+        return spec.to_scenario()
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigError(
+            f"expected a ScenarioSpec (or legacy ReplaySpec), got {type(spec).__name__}"
+        )
+    return spec
 
 
 @dataclass
@@ -123,7 +150,7 @@ class ReplayMemoStats:
         return self.hits
 
 
-def _execute_specs(specs: list[ReplaySpec]) -> list[RunResult]:
+def _execute_specs(specs: list[ScenarioSpec]) -> list[RunResult]:
     """Process-pool entry point: run a batch of specs in a fresh runner.
 
     Module-level so it pickles by reference; the worker rebuilds traces
@@ -137,7 +164,7 @@ def _execute_specs(specs: list[ReplaySpec]) -> list[RunResult]:
 
 
 class ReplayRunner:
-    """Executes :class:`ReplaySpec`\\ s with trace and result memoization.
+    """Executes :class:`ScenarioSpec`\\ s with trace and result memoization.
 
     ``workers`` > 1 enables the process-pool mode used by
     :meth:`run_many`; see the module docstring.
@@ -148,33 +175,58 @@ class ReplayRunner:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._traces: dict[tuple, Trace] = {}
-        self._results: dict[ReplaySpec, RunResult] = {}
+        self._results: dict[ScenarioSpec, RunResult] = {}
         #: pool-executed specs whose first :meth:`run` fetch must not
         #: count as a memo hit — keeps the hit/miss accounting (and the
         #: sweep reports rendered from it) byte-identical to
         #: single-process execution.
-        self._fresh: set[ReplaySpec] = set()
+        self._fresh: set[ScenarioSpec] = set()
+        #: lazily-created, *reused* process pool (see module docstring).
+        self._pool: ProcessPoolExecutor | None = None
         self.stats = ReplayMemoStats()
 
-    def trace_for(self, spec: ReplaySpec) -> Trace:
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; memo stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ReplayRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    # -- execution -----------------------------------------------------
+
+    def trace_for(self, spec: ScenarioSpec | ReplaySpec) -> Trace:
         """The (cached) trace a spec replays."""
+        spec = _as_scenario(spec)
         key = spec.trace_key()
         if key not in self._traces:
-            generator = WORKLOADS[spec.workload](
-                num_requests=spec.num_requests,
-                footprint_bytes=key[2],
-                seed=spec.seed,
-                **dict(spec.workload_kwargs),
-            )
-            self._traces[key] = generator.generate()
+            self._traces[key] = build_trace(spec)
             self.stats.trace_builds += 1
         return self._traces[key]
 
-    def run(self, spec: ReplaySpec) -> RunResult:
+    def run(self, spec: ScenarioSpec | ReplaySpec) -> RunResult:
         """Run (or fetch) one replay.
 
         Cached results are shared objects: treat them as read-only.
         """
+        spec = _as_scenario(spec)
         if spec in self._results:
             if spec in self._fresh:
                 # First fetch of a pool-executed result: the pool run
@@ -184,21 +236,11 @@ class ReplayRunner:
                 self.stats.hits += 1
             return self._results[spec]
         self.stats.misses += 1
-        result = replay_trace(
-            self.trace_for(spec),
-            spec.device_spec(),
-            ftl_kind=spec.ftl,
-            ppb_config=spec.ppb,
-            warm_fill_fraction=spec.footprint_fraction,
-            reliability=spec.reliability,
-            refresh=spec.refresh,
-            retention_age_s=spec.retention_age_s,
-            reread_age_s=spec.reread_age_s,
-        )
+        result = execute_scenario(spec, self.trace_for(spec))
         self._results[spec] = result
         return result
 
-    def prefetch(self, specs: Iterable[ReplaySpec]) -> None:
+    def prefetch(self, specs: Iterable[ScenarioSpec | ReplaySpec]) -> None:
         """Execute the uncached specs of a batch in the process pool.
 
         No-op with ``workers == 1`` (or when at most one spec is
@@ -210,9 +252,10 @@ class ReplayRunner:
         """
         if self.workers <= 1:
             return
-        pending: list[ReplaySpec] = []
-        seen: set[ReplaySpec] = set()
+        pending: list[ScenarioSpec] = []
+        seen: set[ScenarioSpec] = set()
         for spec in specs:
+            spec = _as_scenario(spec)
             if spec not in self._results and spec not in seen:
                 seen.add(spec)
                 pending.append(spec)
@@ -223,28 +266,30 @@ class ReplayRunner:
         # within a trace (few duplicate builds) but a grid dominated by
         # one trace — the reliability sweep — still fans out across
         # every worker.
-        groups: dict[tuple, list[ReplaySpec]] = {}
+        groups: dict[tuple, list[ScenarioSpec]] = {}
         for spec in pending:
             groups.setdefault(spec.trace_key(), []).append(spec)
         ordered = [spec for group in groups.values() for spec in group]
         num_batches = min(self.workers, len(ordered))
         size = (len(ordered) + num_batches - 1) // num_batches
         batches = [ordered[i : i + size] for i in range(0, len(ordered), size)]
-        with ProcessPoolExecutor(max_workers=len(batches)) as pool:
-            for batch, results in zip(batches, pool.map(_execute_specs, batches)):
-                for spec, result in zip(batch, results):
-                    self._results[spec] = result
-                    self._fresh.add(spec)
-                    self.stats.misses += 1
+        pool = self._ensure_pool()
+        for batch, results in zip(batches, pool.map(_execute_specs, batches)):
+            for spec, result in zip(batch, results):
+                self._results[spec] = result
+                self._fresh.add(spec)
+                self.stats.misses += 1
 
-    def run_many(self, specs: Iterable[ReplaySpec]) -> list[RunResult]:
+    def run_many(
+        self, specs: Iterable[ScenarioSpec | ReplaySpec]
+    ) -> list[RunResult]:
         """Run (or fetch) a batch of specs; returns results in order.
 
         With ``workers > 1`` the uncached specs execute concurrently
-        via :meth:`prefetch`; with ``workers == 1`` this is just
-        ``[self.run(s) for s in specs]``.  Either way the memo stats
-        come out the same.
+        via :meth:`prefetch` — reusing one long-lived pool across calls
+        — and with ``workers == 1`` this is just ``[self.run(s) for s
+        in specs]``.  Either way the memo stats come out the same.
         """
-        spec_list = list(specs)
+        spec_list = [_as_scenario(spec) for spec in specs]
         self.prefetch(spec_list)
         return [self.run(spec) for spec in spec_list]

@@ -46,11 +46,13 @@ from dataclasses import dataclass, field
 from repro.analysis.charts import ascii_matrix
 from repro.analysis.tables import format_pct
 from repro.bench.figures import FigureReport
-from repro.bench.memo import ReplayRunner, ReplaySpec
+from repro.bench.memo import ReplayRunner
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
+from repro.nand.spec import sim_spec
 from repro.reliability.manager import ReliabilityConfig
 from repro.reliability.retention import SECONDS_PER_HOUR
+from repro.scenario.spec import ScenarioSpec
 
 #: workloads with a hotness-skew (Zipf theta) knob.
 SKEWABLE_WORKLOADS = ("media-server", "web-sql")
@@ -160,29 +162,36 @@ class PlacementPoint:
         return (self.aged_read_us - self.fresh_read_us) / self.fresh_read_us
 
 
-def _base_spec(sweep: PlacementSweepSpec, ratio: float, skew: float) -> ReplaySpec:
-    """The shared replay spec of one (speed ratio, skew) grid point."""
-    return ReplaySpec(
+def point_scenario(sweep: PlacementSweepSpec, ratio: float, skew: float) -> ScenarioSpec:
+    """Factory: the shared two-phase scenario of one (ratio, skew) point.
+
+    Each FTL variant is this spec plus dotted-path edits (``ftl``,
+    ``ppb.reliability_weight``) — the same grid a scenario file with
+    sweep axes expands to.
+    """
+    return ScenarioSpec(
         workload=sweep.workload,
         num_requests=sweep.num_requests,
-        blocks_per_chip=sweep.blocks_per_chip,
-        page_size=sweep.page_size,
-        speed_ratio=ratio,
         footprint_fraction=sweep.footprint_fraction,
         seed=sweep.seed,
         workload_kwargs=(("zipf_theta", float(skew)),),
+        device=sim_spec(
+            page_size=sweep.page_size,
+            speed_ratio=ratio,
+            blocks_per_chip=sweep.blocks_per_chip,
+        ),
         reliability=sweep.config,
         refresh=True,
         reread_age_s=sweep.retention_age_hours * SECONDS_PER_HOUR,
     )
 
 
-def sweep_specs(sweep: PlacementSweepSpec) -> list[ReplaySpec]:
+def sweep_specs(sweep: PlacementSweepSpec) -> list[ScenarioSpec]:
     """Every unique replay the sweep needs (the parallel prefetch set)."""
-    specs: list[ReplaySpec] = []
+    specs: list[ScenarioSpec] = []
     for ratio in sweep.speed_ratios:
         for skew in sweep.skews:
-            base = _base_spec(sweep, ratio, skew)
+            base = point_scenario(sweep, ratio, skew)
             specs.append(base.with_(ftl="conventional"))
             specs.append(base.with_(ftl="fast"))
             for weight in sorted(sweep.weights):
@@ -209,7 +218,7 @@ def run_placement_sweep(
     points: list[PlacementPoint] = []
     for ratio in sweep.speed_ratios:
         for skew in sweep.skews:
-            base = _base_spec(sweep, ratio, skew)
+            base = point_scenario(sweep, ratio, skew)
             for weight in sorted(sweep.weights):
                 # The speed-oblivious FTLs do not depend on the weight;
                 # requesting them every iteration exercises the memo.
@@ -242,7 +251,7 @@ def _ppb_config(sweep: PlacementSweepSpec, weight: float) -> PPBConfig:
 
 def _measure(
     runner: ReplayRunner,
-    spec: ReplaySpec,
+    spec: ScenarioSpec,
     ratio: float,
     skew: float,
     variant: str,

@@ -25,10 +25,13 @@ from dataclasses import dataclass, field
 from repro.analysis.charts import ascii_matrix
 from repro.analysis.tables import format_pct
 from repro.bench.figures import FigureReport
-from repro.bench.memo import WORKLOADS, ReplayRunner, ReplaySpec
+from repro.bench.memo import ReplayRunner
 from repro.errors import ConfigError
+from repro.nand.spec import sim_spec
 from repro.reliability.manager import ReliabilityConfig
 from repro.reliability.retention import SECONDS_PER_HOUR
+from repro.scenario.spec import ScenarioSpec
+from repro.traces.workloads import WORKLOADS
 
 #: Default sweep axes: fresh, one day, one month, three months of
 #: retention; both ends of the paper's speed-difference range.
@@ -90,25 +93,32 @@ class ReliabilityPoint:
         return min(1.0, (self.aged_read_us - self.refresh_read_us) / penalty)
 
 
-def _base_spec(sweep: ReliabilitySweepSpec, ratio: float) -> ReplaySpec:
-    """The latency-only baseline spec of one speed-ratio lane."""
-    return ReplaySpec(
+def baseline_scenario(sweep: ReliabilitySweepSpec, ratio: float) -> ScenarioSpec:
+    """Factory: the latency-only baseline scenario of one speed-ratio lane.
+
+    The whole sweep is this spec plus dotted-path edits (``reliability``,
+    ``refresh``, ``retention_age_s``) — the same grid a scenario file
+    with three sweep axes expands to.
+    """
+    return ScenarioSpec(
         workload=sweep.workload,
         num_requests=sweep.num_requests,
-        blocks_per_chip=sweep.blocks_per_chip,
-        page_size=sweep.page_size,
-        speed_ratio=ratio,
         footprint_fraction=sweep.footprint_fraction,
         seed=sweep.seed,
         ftl=sweep.ftl,
+        device=sim_spec(
+            page_size=sweep.page_size,
+            speed_ratio=ratio,
+            blocks_per_chip=sweep.blocks_per_chip,
+        ),
     )
 
 
-def sweep_specs(sweep: ReliabilitySweepSpec) -> list[ReplaySpec]:
+def sweep_specs(sweep: ReliabilitySweepSpec) -> list[ScenarioSpec]:
     """Every unique replay the sweep needs (the parallel prefetch set)."""
-    specs: list[ReplaySpec] = []
+    specs: list[ScenarioSpec] = []
     for ratio in sweep.speed_ratios:
-        base_spec = _base_spec(sweep, ratio)
+        base_spec = baseline_scenario(sweep, ratio)
         specs.append(base_spec)
         for age_hours in sweep.ages_hours:
             age_s = age_hours * SECONDS_PER_HOUR
@@ -143,7 +153,7 @@ def run_reliability_sweep(
     runner.prefetch(sweep_specs(sweep))
     points: list[ReliabilityPoint] = []
     for ratio in sweep.speed_ratios:
-        base_spec = _base_spec(sweep, ratio)
+        base_spec = baseline_scenario(sweep, ratio)
         for age_hours in sweep.ages_hours:
             age_s = age_hours * SECONDS_PER_HOUR
             base = runner.run(base_spec)

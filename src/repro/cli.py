@@ -14,6 +14,18 @@ Subcommands
     Sweep speed-ratio x hotness-skew across all three FTLs plus PPB at
     several reliability weights, and print the speed-vs-lifetime
     placement frontier.
+``scenario run FILE``
+    Execute a declarative scenario file (``.toml``/``.json``; see
+    :mod:`repro.scenario`): a single run, or — when the file carries
+    ``[[sweep]]`` axes — the expanded cross-product.  ``--set
+    path=value`` overrides any dotted field for quick variations;
+    ``--smoke`` clamps the size for CI.
+``sweep``
+    The generic sweep engine: ``--set path=v1,v2,...`` turns any dotted
+    scenario field (``device.speed_ratio``, ``ppb.reliability_weight``,
+    ``reread_age_s``...) into an axis and runs the cross-product
+    through the memoized replay runner, from defaults or from a
+    ``--spec`` file.
 ``perf``
     Time the paper-figure replays (wall-clock, pages/sec), write the
     ``BENCH_perf.json`` digest, and optionally gate against a committed
@@ -25,6 +37,7 @@ Subcommands
 
 The sweep subcommands take ``--workers N`` to fan their replay grids
 across worker processes (results are byte-identical to ``--workers 1``;
+the pool is spawned once and reused across the invocation's sweeps —
 see :mod:`repro.bench.memo`).
 """
 
@@ -62,16 +75,18 @@ from repro.bench.reporting import render_reports, run_figures
 from repro.errors import ConfigError
 from repro.nand.spec import sim_spec, table1_spec
 from repro.reliability.manager import ReliabilityConfig
+from repro.scenario.report import summarize_result, sweep_table
+from repro.scenario.serialize import ScenarioFile, load_scenario_file
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.sweep import SweepAxis, get_path, parse_set_arg, set_paths, sweep
 from repro.sim.replay import replay_trace
 from repro.traces.msr import read_msr_csv
 from repro.traces.stats import characterize
-from repro.traces.workloads import MediaServerWorkload, UniformWorkload, WebSqlWorkload
+from repro.traces.workloads import WORKLOADS as _WORKLOADS
 
-_WORKLOADS = {
-    "media-server": MediaServerWorkload,
-    "web-sql": WebSqlWorkload,
-    "uniform": UniformWorkload,
-}
+#: ``--smoke`` caps (CI-fast): requests and device blocks are clamped.
+SMOKE_MAX_REQUESTS = 1_500
+SMOKE_MAX_BLOCKS = 64
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -192,6 +207,69 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep grid (1 = in-process)",
     )
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="work with declarative scenario files (.toml/.json)",
+    )
+    scen_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scen_run = scen_sub.add_parser(
+        "run", help="execute a scenario file (single run or its [[sweep]] grid)"
+    )
+    scen_run.add_argument("file", help="path to a .toml/.json scenario file")
+    scen_run.add_argument(
+        "--set",
+        dest="sets",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE[,VALUE...]",
+        help="override a dotted field (one value), or add/replace a sweep "
+        "axis (comma-separated values); repeatable",
+    )
+    scen_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"clamp to CI size (<= {SMOKE_MAX_REQUESTS} requests, "
+        f"<= {SMOKE_MAX_BLOCKS} blocks per chip)",
+    )
+    scen_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep grids (1 = in-process)",
+    )
+
+    gen_sweep = sub.add_parser(
+        "sweep",
+        help="cross-product sweep over any dotted scenario fields",
+    )
+    gen_sweep.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="base scenario file (defaults to the stock ScenarioSpec)",
+    )
+    gen_sweep.add_argument(
+        "--set",
+        dest="sets",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE[,VALUE...]",
+        help="set a dotted field (one value) or sweep it (comma-separated "
+        "values); repeatable, axes cross-multiply in the order given",
+    )
+    gen_sweep.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"clamp to CI size (<= {SMOKE_MAX_REQUESTS} requests, "
+        f"<= {SMOKE_MAX_BLOCKS} blocks per chip)",
+    )
+    gen_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep grid (1 = in-process)",
+    )
+
     perf = sub.add_parser(
         "perf",
         help="time the paper-figure replays and gate against a baseline",
@@ -258,7 +336,8 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
             seed=args.seed,
             config=ReliabilityConfig(base_rber=args.base_rber),
         )
-        report = run_reliability_sweep(sweep, ReplayRunner(workers=args.workers))
+        with ReplayRunner(workers=args.workers) as runner:
+            report = run_reliability_sweep(sweep, runner)
     except ConfigError as exc:
         print(f"repro-flash reliability: error: {exc}", file=sys.stderr)
         return 2
@@ -278,12 +357,138 @@ def _cmd_placement(args: argparse.Namespace) -> int:
             retention_age_hours=args.age,
             seed=args.seed,
         )
-        report = run_placement_sweep(sweep, ReplayRunner(workers=args.workers))
+        with ReplayRunner(workers=args.workers) as runner:
+            report = run_placement_sweep(sweep, runner)
     except ConfigError as exc:
         print(f"repro-flash placement: error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
     return 0 if report.all_checks_pass else 1
+
+
+def _apply_sets(
+    base: ScenarioSpec, axes: list[SweepAxis], set_args: list[str]
+) -> tuple[ScenarioSpec, list[SweepAxis]]:
+    """Fold ``--set`` arguments into a (base, axes) pair.
+
+    A single-value ``--set`` overrides the base spec (and cancels any
+    axis on the same path); a multi-value one adds or replaces an axis.
+    All overrides apply as one batch (:func:`set_paths`) and axes
+    validate per *final* grid point inside :func:`sweep`, so no valid
+    combination depends on the order the flags were given in.
+    """
+    axes = list(axes)
+    overrides: list[tuple[str, object]] = []
+    for arg in set_args:
+        axis = parse_set_arg(arg)
+        if len(axis.values) == 1:
+            overrides.append((axis.path, axis.values[0]))
+            axes = [a for a in axes if a.path != axis.path]
+        else:
+            replaced = False
+            for i, existing in enumerate(axes):
+                if existing.path == axis.path:
+                    axes[i] = axis
+                    replaced = True
+            if not replaced:
+                axes.append(axis)
+    if overrides:
+        base = set_paths(base, overrides)
+    for axis in axes:
+        get_path(base, axis.path)  # misspelled paths fail before any replay
+    return base, axes
+
+
+#: dotted paths --smoke clamps, with their caps.
+_SMOKE_CAPS = {
+    "num_requests": SMOKE_MAX_REQUESTS,
+    "device.blocks_per_chip": SMOKE_MAX_BLOCKS,
+}
+
+
+def _apply_smoke(
+    base: ScenarioSpec, axes: list[SweepAxis]
+) -> tuple[ScenarioSpec, list[SweepAxis]]:
+    """Clamp a bundle to CI-smoke size (never grows a small scenario).
+
+    Axes on the size knobs are clamped too — otherwise a sweep over
+    ``num_requests`` would reapply full-scale values right after the
+    base was clamped, turning the CI scenario-smoke job into a
+    full-scale run.
+    """
+    if base.num_requests > SMOKE_MAX_REQUESTS:
+        base = base.with_(num_requests=SMOKE_MAX_REQUESTS)
+    if base.device.blocks_per_chip > SMOKE_MAX_BLOCKS:
+        base = base.with_(device=base.device.replace(blocks_per_chip=SMOKE_MAX_BLOCKS))
+    clamped: list[SweepAxis] = []
+    for axis in axes:
+        cap = _SMOKE_CAPS.get(axis.path)
+        if cap is not None:
+            values: list[object] = []
+            for value in axis.values:
+                # Clamp only numbers; anything else stays put for the
+                # sweep expansion to reject with a path-named ConfigError.
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    value = min(value, cap)
+                if value not in values:  # dedupe collapsed points
+                    values.append(value)
+            axis = SweepAxis(axis.path, tuple(values))
+        clamped.append(axis)
+    return base, clamped
+
+
+def _run_scenario_bundle(
+    base: ScenarioSpec,
+    axes: list[SweepAxis],
+    workers: int,
+    title: str,
+) -> int:
+    """Execute a base spec (plus optional axes) and print the report."""
+    with ReplayRunner(workers=workers) as runner:
+        if axes:
+            specs = sweep(base, axes)
+            results = runner.run_many(specs)
+            print(
+                sweep_table(
+                    specs, results, axes, memo=runner.stats, title=title or "Sweep"
+                )
+            )
+        else:
+            result = runner.run(base)
+            if title:
+                print(f"== {title} ==")
+            print(summarize_result(base, result))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    try:
+        bundle: ScenarioFile = load_scenario_file(args.file)
+        base, axes = _apply_sets(bundle.base, list(bundle.axes), args.sets)
+        if args.smoke:
+            base, axes = _apply_smoke(base, axes)
+        title = bundle.name or args.file
+        return _run_scenario_bundle(base, axes, args.workers, title)
+    except ConfigError as exc:
+        print(f"repro-flash scenario: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        if args.spec:
+            bundle = load_scenario_file(args.spec)
+            base, axes = bundle.base, list(bundle.axes)
+            title = bundle.name or args.spec
+        else:
+            base, axes, title = ScenarioSpec(), [], "Sweep"
+        base, axes = _apply_sets(base, axes, args.sets)
+        if args.smoke:
+            base, axes = _apply_smoke(base, axes)
+        return _run_scenario_bundle(base, axes, args.workers, title)
+    except ConfigError as exc:
+        print(f"repro-flash sweep: error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -369,6 +574,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_reliability(args)
     if args.command == "placement":
         return _cmd_placement(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "perf":
         return _cmd_perf(args)
     if args.command == "characterize":

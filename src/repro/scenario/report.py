@@ -1,0 +1,129 @@
+"""Generic reports for declarative scenario runs and sweeps.
+
+The bespoke scenarios (``repro reliability``, ``repro placement``)
+render hand-tuned tables; a config-file sweep can vary *anything*, so
+this report derives its columns from the data: one column per sweep
+axis (the dotted path's last segment), then the metrics every replay
+produces, plus the two-phase re-read metrics when any scenario ran one
+and retry metrics when any scenario carried the reliability stack.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import ascii_table
+from repro.bench.memo import ReplayMemoStats
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.sweep import SweepAxis, axis_values
+from repro.sim.ssd import RunResult
+
+
+def _fmt_axis(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def summarize_result(spec: ScenarioSpec, result: RunResult) -> str:
+    """Multi-line digest of one scenario run (the ``scenario run`` view)."""
+    ftl = result.ftl  # type: ignore[attr-defined]
+    lines = [
+        f"scenario          {spec.describe()}",
+        f"trace             {result.trace_name} ({result.num_requests} requests)",
+        f"mean read         {result.mean_read_page_us:.2f} us/page",
+        f"mean write        {result.mean_write_page_us:.2f} us/page",
+        f"host read total   {ftl.stats.host_read_us / 1e6:.3f} s",
+        f"host write total  {ftl.stats.host_write_us / 1e6:.3f} s",
+        f"gc total          {ftl.stats.gc_us / 1e6:.3f} s",
+        f"erased blocks     {ftl.stats.erase_count}",
+        f"write amp.        {ftl.stats.write_amplification:.3f}",
+    ]
+    if hasattr(ftl, "fast_page_read_fraction"):
+        lines.append(f"fast-half reads   {ftl.fast_page_read_fraction():.3f}")
+    if spec.reliability is not None:
+        rel = ftl.reliability.stats
+        lines.append(f"retries/read      {rel.mean_retries_per_read:.3f}")
+        lines.append(f"uncorrectable     {rel.uncorrectable_reads}")
+        if spec.refresh:
+            lines.append(f"refreshed blocks  {rel.refresh_runs}")
+    if spec.reread_age_s > 0:
+        lines.append(
+            f"fresh read        {result.extra['phase1.mean_read_page_us']:.2f} us/page"
+        )
+        lines.append(
+            f"aged re-read      {result.mean_read_page_us:.2f} us/page "
+            f"(+{result.extra['reread.retries_per_read']:.2f} retries/read)"
+        )
+    percentiles = result.response_percentiles()
+    if percentiles:
+        lines.append(
+            "response time     "
+            f"p50 {percentiles['p50_us']:.0f} us, "
+            f"p95 {percentiles['p95_us']:.0f} us, "
+            f"p99 {percentiles['p99_us']:.0f} us"
+        )
+    return "\n".join(lines)
+
+
+def sweep_table(
+    specs: list[ScenarioSpec],
+    results: list[RunResult],
+    axes: list[SweepAxis] | tuple[SweepAxis, ...],
+    memo: ReplayMemoStats | None = None,
+    title: str = "",
+) -> str:
+    """Render an expanded sweep as a derived-column table."""
+    axes = list(axes)
+    any_reliability = any(s.reliability is not None for s in specs)
+    any_reread = any(s.reread_age_s > 0 for s in specs)
+    headers = [axis.label for axis in axes]
+    if not axes:
+        headers = ["scenario"]
+    if any_reread:
+        headers += ["fresh rd (us/pg)", "aged rd (us/pg)"]
+    else:
+        headers += ["read (us/pg)"]
+    headers += ["write (us/pg)", "erases", "WAF"]
+    if any_reliability:
+        headers += ["retries/rd", "uncorr"]
+    rows: list[list[object]] = []
+    for spec, result in zip(specs, results):
+        ftl = result.ftl  # type: ignore[attr-defined]
+        if axes:
+            row: list[object] = [_fmt_axis(v) for v in axis_values(spec, axes)]
+        else:
+            row = [spec.describe()]
+        if any_reread:
+            if spec.reread_age_s > 0:
+                row += [
+                    f"{result.extra['phase1.mean_read_page_us']:.1f}",
+                    f"{result.mean_read_page_us:.1f}",
+                ]
+            else:
+                row += [f"{result.mean_read_page_us:.1f}", "-"]
+        else:
+            row += [f"{result.mean_read_page_us:.1f}"]
+        row += [
+            f"{result.mean_write_page_us:.1f}",
+            ftl.stats.erase_count,
+            f"{ftl.stats.write_amplification:.2f}",
+        ]
+        if any_reliability:
+            if spec.reliability is not None:
+                rel = ftl.reliability.stats
+                row += [
+                    f"{rel.mean_retries_per_read:.2f}",
+                    rel.uncorrectable_reads,
+                ]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    parts = []
+    if title:
+        parts.append(f"== {title} ==")
+    parts.append(ascii_table(headers, rows))
+    if memo is not None:
+        parts.append(
+            f"{memo.misses} replays run, {memo.hits} served from memo, "
+            f"{memo.trace_builds} traces built"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,197 @@
+"""The declarative scenario specification: one frozen object per experiment.
+
+Every experiment this repository runs — a paper figure cell, a
+reliability sweep point, a placement frontier variant, a retention A/B
+re-read — is "replay a workload on a configured device".  Before this
+module each caller carried its own bundle of knobs (``replay_trace``'s
+keyword list, ``ReplaySpec``, two sweep dataclasses, ``Cell``);
+:class:`ScenarioSpec` is the single canonical bundle they all reduce to.
+
+Design rules
+------------
+* **Frozen and hashable** — a spec is a value, so it serves directly as
+  the memoization cache key of
+  :class:`~repro.bench.memo.ReplayRunner` and pickles across the worker
+  pool unchanged.
+* **Total** — every knob the simulator honours appears here; nothing
+  about a run is implied by the call site.
+* **Serializable** — round-trips losslessly through plain dicts and
+  JSON/TOML files (:mod:`repro.scenario.serialize`), so an experiment
+  is a config file, not a code change.
+* **Sweepable** — every field, including those of the nested
+  :class:`~repro.nand.spec.NandSpec` / :class:`~repro.core.config.PPBConfig`
+  / :class:`~repro.reliability.manager.ReliabilityConfig`, is reachable
+  by dotted path (:mod:`repro.scenario.sweep`), e.g.
+  ``device.speed_ratio`` or ``ppb.reliability_weight``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.config import PPBConfig
+from repro.errors import ConfigError
+from repro.nand.spec import NandSpec, sim_spec
+from repro.reliability.manager import ReliabilityConfig
+from repro.traces.workloads import WORKLOADS
+
+#: Replay modes the engine accepts (see :meth:`repro.sim.ssd.SSD.replay`).
+VALID_MODES = ("sequential", "timed")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified, hashable, serializable experiment.
+
+    The phase schedule of a run is: build the device -> warm fill ->
+    optional pre-age (``retention_age_s``) -> replay the trace ->
+    optional shelf-age + re-read of the trace's reads
+    (``reread_age_s`` — the two-phase retention A/B harness).
+    """
+
+    # -- workload / trace source ----------------------------------------
+    #: registered workload generator name (see
+    #: :data:`repro.traces.workloads.WORKLOADS`).
+    workload: str = "web-sql"
+    num_requests: int = 8_000
+    #: extra generator kwargs as a sorted item tuple (hashable), e.g.
+    #: ``(("zipf_theta", 0.95),)`` for the hotness-skew axis.  Dicts are
+    #: accepted and normalized.
+    workload_kwargs: tuple[tuple[str, float], ...] = ()
+    #: fraction of logical capacity the workload's footprint spans.
+    footprint_fraction: float = 0.80
+    seed: int = 42
+    #: optional MSRC CSV file to replay instead of generating the
+    #: workload (the trace still fits to the device's capacity).
+    trace_path: str | None = None
+
+    # -- device ---------------------------------------------------------
+    #: full device geometry/timing (the paper's Table 1 knobs).
+    device: NandSpec = field(default_factory=sim_spec)
+
+    # -- FTL / placement ------------------------------------------------
+    #: "conventional", "fast" or "ppb" (see :data:`repro.sim.replay.FTL_FACTORIES`).
+    ftl: str = "conventional"
+    #: PPB strategy knobs; only consulted by the "ppb" FTL.
+    ppb: PPBConfig | None = None
+
+    # -- reliability stack ----------------------------------------------
+    #: attach the reliability stack (None = latency-only simulator).
+    reliability: ReliabilityConfig | None = None
+    #: attach the retention-aware refresh policy (needs ``reliability``).
+    refresh: bool = False
+
+    # -- phase schedule -------------------------------------------------
+    #: fraction of logical capacity sequentially pre-written before the
+    #: replay; ``None`` means "same as footprint_fraction" (the sweep
+    #: convention, so GC is active over exactly the replayed footprint).
+    warm_fill_fraction: float | None = None
+    #: shelf age (seconds) applied to the warm-filled data before the
+    #: replay — models a device powered off that long (needs
+    #: ``reliability`` to have an effect).
+    retention_age_s: float = 0.0
+    #: two-phase harness: after the replay, shelf-age by this much and
+    #: replay the trace's reads again; the result then describes the
+    #: aged re-read phase (requires ``reliability``).
+    reread_age_s: float = 0.0
+    #: "sequential" (service-time accounting) or "timed" (queued
+    #: arrivals with response-time percentiles).
+    mode: str = "sequential"
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; choose from {sorted(WORKLOADS)}"
+            )
+        if self.num_requests < 1:
+            raise ConfigError(f"num_requests must be >= 1, got {self.num_requests}")
+        if not 0.0 < self.footprint_fraction <= 1.0:
+            raise ConfigError(
+                f"footprint_fraction must be in (0, 1], got {self.footprint_fraction}"
+            )
+        # Normalize workload_kwargs to a canonically-sorted item tuple so
+        # equal scenarios hash equal however they were written.
+        kwargs = self.workload_kwargs
+        if isinstance(kwargs, dict):
+            kwargs = tuple(sorted(kwargs.items()))
+        else:
+            kwargs = tuple(sorted(tuple(item) for item in kwargs))
+        object.__setattr__(self, "workload_kwargs", kwargs)
+        for key, _ in kwargs:
+            if not isinstance(key, str):
+                raise ConfigError(f"workload_kwargs keys must be strings, got {key!r}")
+        from repro.sim.replay import FTL_FACTORIES  # deferred: avoids import cycle
+
+        if self.ftl not in FTL_FACTORIES:
+            raise ConfigError(
+                f"unknown FTL {self.ftl!r}; choose from {sorted(FTL_FACTORIES)}"
+            )
+        if self.mode not in VALID_MODES:
+            raise ConfigError(
+                f"mode must be one of {VALID_MODES}, got {self.mode!r}"
+            )
+        if self.warm_fill_fraction is not None and not 0.0 <= self.warm_fill_fraction <= 1.0:
+            raise ConfigError(
+                f"warm_fill_fraction must be in [0, 1], got {self.warm_fill_fraction}"
+            )
+        if self.retention_age_s < 0:
+            raise ConfigError(
+                f"retention_age_s must be >= 0, got {self.retention_age_s}"
+            )
+        if self.reread_age_s < 0:
+            raise ConfigError(f"reread_age_s must be >= 0, got {self.reread_age_s}")
+        if self.reread_age_s > 0 and self.reliability is None:
+            raise ConfigError("reread_age_s requires the reliability stack")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_warm_fill(self) -> float:
+        """The warm-fill fraction the engine actually uses."""
+        if self.warm_fill_fraction is None:
+            return self.footprint_fraction
+        return self.warm_fill_fraction
+
+    @property
+    def footprint_bytes(self) -> int:
+        """The workload footprint in bytes on this device."""
+        return int(self.device.logical_bytes * self.footprint_fraction)
+
+    def trace_key(self) -> tuple:
+        """What the replayed trace depends on — deliberately *not* the
+        FTL, device timing or reliability knobs, so every variant at one
+        sweep point replays the byte-identical request stream."""
+        if self.trace_path is not None:
+            return ("trace-file", self.trace_path)
+        return (
+            self.workload,
+            self.num_requests,
+            self.footprint_bytes,
+            self.seed,
+            self.workload_kwargs,
+        )
+
+    def with_(self, **changes: object) -> "ScenarioSpec":
+        """A modified copy (convenience for sweeps)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Short human-readable digest for reports and CLI output."""
+        parts = [f"{self.workload} x{self.num_requests} on {self.ftl}"]
+        if self.workload_kwargs:
+            parts.append(
+                "(" + ", ".join(f"{k}={v:g}" for k, v in self.workload_kwargs) + ")"
+            )
+        parts.append(
+            f"[{self.device.blocks_per_chip} blk, {self.device.speed_ratio:g}x]"
+        )
+        if self.reliability is not None:
+            parts.append("+reliability")
+        if self.refresh:
+            parts.append("+refresh")
+        if self.retention_age_s:
+            parts.append(f"age={self.retention_age_s:g}s")
+        if self.reread_age_s:
+            parts.append(f"reread={self.reread_age_s:g}s")
+        return " ".join(parts)

@@ -1,11 +1,11 @@
-"""One-call trace replay: build device + FTL + SSD, fill, run.
+"""FTL factory + ``replay_trace`` compatibility shim.
 
-This is the function every experiment, example and benchmark funnels
-through, so each figure is a thin parameterization of the same code
-path.  The optional reliability stack (process variation, retention,
-ECC read-retry, refresh — see :mod:`repro.reliability`) threads through
-here too: pass a :class:`~repro.reliability.manager.ReliabilityConfig`
-to attach it, leave it ``None`` for the latency-only simulator.
+The actual engine lives in :mod:`repro.scenario.run` — every experiment
+is a :class:`~repro.scenario.spec.ScenarioSpec` executed there.
+:func:`replay_trace` survives as the long-standing convenience entry
+point (examples, tests and ad-hoc studies call it with a prebuilt
+trace): it packs its keyword arguments into a ``ScenarioSpec`` and
+delegates, so the two paths can never drift apart.
 """
 
 from __future__ import annotations
@@ -17,11 +17,12 @@ from repro.core.ppb_ftl import PPBFTL
 from repro.errors import ConfigError
 from repro.ftl.conventional import ConventionalFTL
 from repro.ftl.fast import FastFTL
+from repro.ftl.reliability_hooks import ReliabilityHost
 from repro.nand.device import NandDevice
 from repro.nand.spec import NandSpec
 from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
 from repro.reliability.refresh import RefreshPolicy
-from repro.sim.ssd import SSD, RunResult
+from repro.sim.ssd import RunResult
 from repro.traces.record import Trace
 
 def _make_conventional(device, ppb_config, reliability, refresh):
@@ -36,6 +37,13 @@ def _make_ppb(device, ppb_config, reliability, refresh):
     return PPBFTL(device, config=ppb_config, reliability=reliability, refresh=refresh)
 
 
+#: Registered FTL classes by kind (used to *derive* capability sets).
+FTL_CLASSES: dict[str, type] = {
+    "conventional": ConventionalFTL,
+    "fast": FastFTL,
+    "ppb": PPBFTL,
+}
+
 #: Registered FTL factories; each takes (device, ppb_config, reliability, refresh).
 FTL_FACTORIES: dict[str, Callable[..., object]] = {
     "conventional": _make_conventional,
@@ -43,9 +51,14 @@ FTL_FACTORIES: dict[str, Callable[..., object]] = {
     "ppb": _make_ppb,
 }
 
-#: FTLs that accept the reliability stack — all of them, now that the
-#: hook protocol (repro.ftl.reliability_hooks) is FTL-agnostic.
-RELIABILITY_FTLS = ("conventional", "fast", "ppb")
+#: FTLs that accept the reliability stack — derived from the hook
+#: protocol rather than hand-listed: an FTL hosts the stack iff it
+#: inherits :class:`~repro.ftl.reliability_hooks.ReliabilityHost`.
+#: Today that is all three; the guard in :func:`make_ftl` exists for
+#: future registrations that skip the mixin.
+RELIABILITY_FTLS = tuple(
+    kind for kind, cls in FTL_CLASSES.items() if issubclass(cls, ReliabilityHost)
+)
 
 
 def make_ftl(
@@ -82,80 +95,26 @@ def replay_trace(
     retention_age_s: float = 0.0,
     reread_age_s: float = 0.0,
 ) -> RunResult:
-    """Replay a trace on a fresh device; returns the aggregate result.
+    """Replay a prebuilt trace on a fresh device (compatibility shim).
 
-    The trace is first fitted to the device's logical capacity (offsets
-    wrap), then the device is aged by a sequential warm fill so garbage
-    collection is active from the start — matching how trace-driven
-    flash studies precondition devices.
-
-    With ``reliability`` set, a :class:`ReliabilityManager` (and, when
-    ``refresh`` is true, a :class:`RefreshPolicy`) attaches to the FTL;
-    ``retention_age_s`` then pre-ages the warm-filled data, modeling a
-    device that sat powered off for that long before the replay — the
-    knob the ``repro reliability`` scenario sweeps.  The manager is
-    exposed on the result's FTL as ``ftl.reliability``.
-
-    ``reread_age_s`` adds a second phase: after the replay, the device
-    shelf-ages by that much and the trace's *reads* run again.  The
-    returned result then describes the re-read phase (its
-    ``mean_read_page_us`` is the aged-read service time; the fresh
-    phase's mean survives in ``extra["phase1.mean_read_page_us"]``, and
-    the phase's retry accounting in ``extra["reread.*"]``).  This is how
-    the ``repro placement`` scenario measures what a placement decision
-    costs once the data it placed has rotted — a replay alone cannot,
-    because simulated time advances only by operation latencies.
+    Equivalent to building a :class:`~repro.scenario.spec.ScenarioSpec`
+    from these arguments and calling
+    :func:`repro.scenario.run.execute_scenario` — which is exactly what
+    it does.  See that function for the phase-schedule semantics
+    (warm fill, pre-age, replay, shelf-age + re-read).
     """
-    device = NandDevice(spec)
-    manager = ReliabilityManager(device, reliability) if reliability else None
-    policy = RefreshPolicy(manager) if (manager is not None and refresh) else None
-    if reread_age_s > 0 and manager is None:
-        raise ConfigError("reread_age_s requires the reliability stack")
-    ftl = make_ftl(ftl_kind, device, ppb_config, manager, policy)
-    ssd = SSD(ftl, spec.page_size)
-    fitted = trace.fit_to(ssd.capacity_bytes)
-    if warm_fill_fraction > 0:
-        ssd.warm_fill(warm_fill_fraction)
-    if manager is not None:
-        manager.reset_stats()
-        if retention_age_s > 0:
-            manager.age_all(retention_age_s)
-    result = ssd.replay(fitted, mode=mode)
-    if reread_age_s > 0:
-        result = _reread_aged(ssd, ftl, manager, fitted, result, reread_age_s, mode)
-    result.ftl = ftl  # type: ignore[attr-defined]  # exposed for reports
-    return result
+    from repro.scenario.run import execute_scenario
+    from repro.scenario.spec import ScenarioSpec
 
-
-def _reread_aged(
-    ssd: SSD,
-    ftl,
-    manager: ReliabilityManager,
-    fitted: Trace,
-    fresh: RunResult,
-    reread_age_s: float,
-    mode: str,
-) -> RunResult:
-    """Shelf-age the device and replay the trace's reads (phase 2)."""
-    manager.age_all(reread_age_s)
-    stats = ftl.stats
-    read_us_before = stats.host_read_us
-    read_pages_before = stats.host_read_pages
-    rel = manager.stats
-    checked_before = rel.checked_reads
-    steps_before = rel.retry_steps
-    retry_us_before = rel.retry_us
-    reread = ssd.replay(fitted.reads_only(), mode=mode)
-    pages = stats.host_read_pages - read_pages_before
-    # ssd.replay finalizes means from the cumulative FTL stats; carve
-    # out the phase-2 view so the aged-read cost is not diluted.
-    reread.mean_read_page_us = (
-        (stats.host_read_us - read_us_before) / pages if pages else 0.0
+    scenario = ScenarioSpec(
+        device=spec,
+        ftl=ftl_kind,
+        ppb=ppb_config,
+        warm_fill_fraction=warm_fill_fraction,
+        mode=mode,
+        reliability=reliability,
+        refresh=refresh,
+        retention_age_s=retention_age_s,
+        reread_age_s=reread_age_s,
     )
-    reread.extra["phase1.mean_read_page_us"] = fresh.mean_read_page_us
-    checked = rel.checked_reads - checked_before
-    reread.extra["reread.retries_per_read"] = (
-        (rel.retry_steps - steps_before) / checked if checked else 0.0
-    )
-    reread.extra["reread.retry_us"] = rel.retry_us - retry_us_before
-    return reread
+    return execute_scenario(scenario, trace)

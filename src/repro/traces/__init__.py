@@ -20,6 +20,7 @@ from repro.traces.synthetic import (
     ZipfianGenerator,
 )
 from repro.traces.workloads import (
+    WORKLOADS,
     MediaServerWorkload,
     WebSqlWorkload,
     SyntheticWorkload,
@@ -40,6 +41,7 @@ __all__ = [
     "MediaServerWorkload",
     "WebSqlWorkload",
     "UniformWorkload",
+    "WORKLOADS",
     "TraceStats",
     "characterize",
 ]

@@ -390,3 +390,14 @@ class UniformWorkload(SyntheticWorkload):
         else:
             self._written.add(slot)
             self._push(OpType.WRITE, offset, self.request_bytes)
+
+
+#: Canonical workload registry: name -> generator class.  This is THE
+#: lookup table — the scenario layer, the memoized replay runner, the
+#: figure cells and the CLI all resolve workload names through it, so a
+#: new generator registered here is immediately sweepable everywhere.
+WORKLOADS: dict[str, type[SyntheticWorkload]] = {
+    "media-server": MediaServerWorkload,
+    "web-sql": WebSqlWorkload,
+    "uniform": UniformWorkload,
+}

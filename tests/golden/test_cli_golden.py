@@ -1,0 +1,61 @@
+"""Golden CLI output: the legacy sweeps through the scenario engine.
+
+The files under ``tests/golden/data/`` were captured from the CLI
+*before* the declarative scenario layer replaced ``ReplaySpec`` as the
+cache key and ``replay_trace`` as the engine entry point.  These tests
+pin that ``repro reliability`` and ``repro placement`` still print
+byte-identical tables — same simulation numbers, same memo hit/miss
+accounting (the placement header renders it) — through the new engine.
+
+Regenerate only when a change is *meant* to alter results::
+
+    PYTHONPATH=src python -m repro reliability --requests 1500 --blocks 64 \
+        --speed-ratios 2 --ages 0,720 > tests/golden/data/cli_reliability_smoke.txt
+    PYTHONPATH=src python -m repro placement --requests 1500 --blocks 64 \
+        --speed-ratios 2 --skews 0.5,0.95 --weights 0,8 --age 720 \
+        > tests/golden/data/cli_placement_smoke.txt
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+CASES = {
+    "cli_reliability_smoke.txt": [
+        "reliability",
+        "--requests", "1500",
+        "--blocks", "64",
+        "--speed-ratios", "2",
+        "--ages", "0,720",
+    ],
+    "cli_placement_smoke.txt": [
+        "placement",
+        "--requests", "1500",
+        "--blocks", "64",
+        "--speed-ratios", "2",
+        "--skews", "0.5,0.95",
+        "--weights", "0,8",
+        "--age", "720",
+    ],
+}
+
+
+@pytest.mark.parametrize("golden_name", sorted(CASES))
+def test_cli_output_is_byte_identical(golden_name, capsys):
+    with open(os.path.join(DATA_DIR, golden_name), encoding="utf-8") as handle:
+        expected = handle.read()
+    assert main(CASES[golden_name]) == 0
+    actual = capsys.readouterr().out
+    assert actual == expected, f"{golden_name}: CLI output drifted from golden"
+
+
+def test_goldens_predate_the_scenario_engine():
+    """Both goldens exist and are non-trivial (guards against an empty
+    capture silently passing the equality test)."""
+    for name in CASES:
+        path = os.path.join(DATA_DIR, name)
+        assert os.path.getsize(path) > 500, f"{name} looks truncated"

@@ -1,0 +1,160 @@
+"""Property tests: ScenarioSpec -> dict/JSON/TOML -> ScenarioSpec is identity.
+
+These pin the tentpole contract of the declarative layer: a spec is a
+value that survives serialization *exactly* (it is the memoization cache
+key — a lossy round trip would silently fork the cache), and malformed
+input dies with a :class:`ConfigError` naming the bad dotted path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PPBConfig
+from repro.errors import ConfigError
+from repro.nand.spec import NandSpec
+from repro.reliability.manager import ReliabilityConfig
+from repro.scenario.serialize import (
+    spec_from_dict,
+    spec_from_json,
+    spec_from_toml,
+    spec_to_dict,
+    spec_to_json,
+    spec_to_toml,
+)
+from repro.scenario.spec import ScenarioSpec
+
+# -- strategies --------------------------------------------------------
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def devices() -> st.SearchStrategy[NandSpec]:
+    return st.builds(
+        NandSpec,
+        page_size=st.sampled_from([8 * 1024, 16 * 1024]),
+        blocks_per_chip=st.integers(min_value=48, max_value=512),
+        speed_ratio=st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+        latency_profile=st.sampled_from(["linear", "geometric", "physical"]),
+        op_ratio=st.floats(min_value=0.05, max_value=0.2, allow_nan=False),
+    )
+
+
+def ppbs() -> st.SearchStrategy[PPBConfig]:
+    return st.builds(
+        PPBConfig,
+        vb_split=st.integers(min_value=2, max_value=4),
+        identifier=st.sampled_from(["size_check", "two_level_lru", "multi_hash"]),
+        reliability_weight=st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+        gc_migration_batch=st.integers(min_value=0, max_value=64),
+    )
+
+
+def reliabilities() -> st.SearchStrategy[ReliabilityConfig]:
+    return st.builds(
+        ReliabilityConfig,
+        base_rber=st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+        variation_profile=st.sampled_from(["tapered", "uniform"]),
+        disturb_coeff=st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+        max_retries=st.integers(min_value=1, max_value=12),
+    )
+
+
+def scenarios() -> st.SearchStrategy[ScenarioSpec]:
+    reliability = st.one_of(st.none(), reliabilities())
+    return st.builds(
+        ScenarioSpec,
+        workload=st.sampled_from(["web-sql", "media-server", "uniform"]),
+        num_requests=st.integers(min_value=1, max_value=200_000),
+        workload_kwargs=st.dictionaries(
+            st.sampled_from(["zipf_theta", "read_fraction"]),
+            st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+            max_size=2,
+        ),
+        footprint_fraction=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31),
+        device=devices(),
+        ftl=st.sampled_from(["conventional", "fast", "ppb"]),
+        ppb=st.one_of(st.none(), ppbs()),
+        reliability=reliability,
+        refresh=st.booleans(),
+        warm_fill_fraction=st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        retention_age_s=st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+        mode=st.sampled_from(["sequential", "timed"]),
+    )
+
+
+# -- identity properties -----------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(spec=scenarios())
+def test_dict_roundtrip_is_identity(spec):
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=scenarios())
+def test_json_roundtrip_is_identity(spec):
+    assert spec_from_json(spec_to_json(spec)) == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=scenarios())
+def test_toml_roundtrip_is_identity(spec):
+    assert spec_from_toml(spec_to_toml(spec)) == spec
+
+
+def test_reread_age_survives_roundtrip():
+    spec = ScenarioSpec(reread_age_s=2.6e6, reliability=ReliabilityConfig())
+    assert spec_from_toml(spec_to_toml(spec)) == spec
+
+
+# -- error reporting ---------------------------------------------------
+
+class TestBadInput:
+    def test_unknown_top_level_key_names_itself(self):
+        with pytest.raises(ConfigError, match="unknown scenario field 'worklod'"):
+            spec_from_dict({"worklod": "web-sql"})
+
+    def test_unknown_nested_key_names_the_dotted_path(self):
+        with pytest.raises(ConfigError, match=r"reliability\.base_rberr"):
+            spec_from_dict({"reliability": {"base_rberr": 1e-4}})
+        with pytest.raises(ConfigError, match=r"device\.speed_ration"):
+            spec_from_dict({"device": {"speed_ration": 2.0}})
+        with pytest.raises(ConfigError, match=r"ppb\.vb_splitt"):
+            spec_from_dict({"ppb": {"vb_splitt": 2}})
+
+    def test_type_errors_name_the_path(self):
+        with pytest.raises(ConfigError, match="num_requests"):
+            spec_from_dict({"num_requests": "many"})
+        with pytest.raises(ConfigError, match=r"device\.speed_ratio"):
+            spec_from_dict({"device": {"speed_ratio": "fast"}})
+        with pytest.raises(ConfigError, match="refresh"):
+            spec_from_dict({"refresh": "yes"})
+
+    def test_int_widens_to_float_fields(self):
+        spec = spec_from_dict({"device": {"speed_ratio": 4}})
+        assert spec.device.speed_ratio == 4.0
+        assert isinstance(spec.device.speed_ratio, float)
+
+    def test_bool_does_not_pass_as_number(self):
+        with pytest.raises(ConfigError, match="retention_age_s"):
+            spec_from_dict({"retention_age_s": True})
+
+    def test_section_must_be_a_table(self):
+        with pytest.raises(ConfigError, match="device"):
+            spec_from_dict({"device": "big"})
+
+    def test_invalid_values_still_hit_config_validation(self):
+        with pytest.raises(ConfigError, match="speed_ratio"):
+            spec_from_dict({"device": {"speed_ratio": 0.5}})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            spec_from_json("{not json")
+
+    def test_invalid_toml_text(self):
+        with pytest.raises(ConfigError, match="TOML"):
+            spec_from_toml("= broken =")

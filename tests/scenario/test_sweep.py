@@ -1,0 +1,163 @@
+"""Dotted-path access and cross-product expansion."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reliability.manager import ReliabilityConfig
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.sweep import (
+    SweepAxis,
+    axis_values,
+    get_path,
+    parse_scalar,
+    parse_set_arg,
+    set_path,
+    sweep,
+)
+
+
+class TestGetSetPath:
+    def test_top_level_field(self):
+        spec = set_path(ScenarioSpec(), "seed", 7)
+        assert spec.seed == 7
+        assert get_path(spec, "seed") == 7
+
+    def test_nested_device_field(self):
+        spec = set_path(ScenarioSpec(), "device.speed_ratio", 4)
+        assert spec.device.speed_ratio == 4.0
+        assert isinstance(spec.device.speed_ratio, float)  # coerced
+        assert get_path(spec, "device.speed_ratio") == 4.0
+
+    def test_setting_under_absent_section_instantiates_defaults(self):
+        spec = ScenarioSpec()
+        assert spec.reliability is None
+        swept = set_path(spec, "reliability.base_rber", 1e-4)
+        assert swept.reliability == ReliabilityConfig(base_rber=1e-4)
+        swept = set_path(spec, "ppb.reliability_weight", 2.0)
+        assert swept.ppb is not None and swept.ppb.reliability_weight == 2.0
+
+    def test_get_under_absent_section_reads_the_default(self):
+        assert get_path(ScenarioSpec(), "reliability.base_rber") == (
+            ReliabilityConfig().base_rber
+        )
+
+    def test_workload_kwargs_path(self):
+        spec = set_path(ScenarioSpec(), "workload_kwargs.zipf_theta", 0.95)
+        assert spec.workload_kwargs == (("zipf_theta", 0.95),)
+        assert get_path(spec, "workload_kwargs.zipf_theta") == 0.95
+
+    def test_unknown_path_names_the_dotted_field(self):
+        with pytest.raises(ConfigError, match=r"device\.speed_ratioo"):
+            set_path(ScenarioSpec(), "device.speed_ratioo", 2.0)
+        with pytest.raises(ConfigError, match="sede"):
+            get_path(ScenarioSpec(), "sede")
+
+    def test_cannot_set_a_whole_section(self):
+        with pytest.raises(ConfigError, match="config section"):
+            set_path(ScenarioSpec(), "device", 2.0)
+
+    def test_cannot_descend_into_a_scalar(self):
+        with pytest.raises(ConfigError, match="cannot descend"):
+            set_path(ScenarioSpec(), "seed.deeper", 2)
+
+    def test_set_revalidates_the_spec(self):
+        with pytest.raises(ConfigError, match="speed_ratio"):
+            set_path(ScenarioSpec(), "device.speed_ratio", 0.25)
+
+
+class TestSweepExpansion:
+    def test_no_axes_is_the_base(self):
+        base = ScenarioSpec()
+        assert sweep(base, []) == [base]
+
+    def test_cross_product_order_first_axis_outermost(self):
+        grid = sweep(
+            ScenarioSpec(),
+            [
+                SweepAxis("device.speed_ratio", (2.0, 4.0)),
+                SweepAxis("seed", (1, 2, 3)),
+            ],
+        )
+        assert len(grid) == 6
+        assert [s.device.speed_ratio for s in grid] == [2.0] * 3 + [4.0] * 3
+        assert [s.seed for s in grid] == [1, 2, 3, 1, 2, 3]
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            sweep(
+                ScenarioSpec(),
+                [SweepAxis("seed", (1,)), SweepAxis("seed", (2,))],
+            )
+
+    def test_axis_values_reads_the_swept_coordinates(self):
+        axes = [SweepAxis("device.speed_ratio", (2.0, 4.0))]
+        grid = sweep(ScenarioSpec(), axes)
+        assert [axis_values(s, axes) for s in grid] == [[2.0], [4.0]]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="at least one value"):
+            SweepAxis("seed", ())
+
+    def test_axis_label_is_last_segment(self):
+        assert SweepAxis("ppb.reliability_weight", (0.0,)).label == "reliability_weight"
+
+
+class TestCliParsing:
+    def test_parse_scalar_types(self):
+        assert parse_scalar("2") == 2 and isinstance(parse_scalar("2"), int)
+        assert parse_scalar("2.5") == 2.5
+        assert parse_scalar("2.6e6") == 2.6e6
+        assert parse_scalar("true") is True
+        assert parse_scalar("false") is False
+        assert parse_scalar("web-sql") == "web-sql"
+
+    def test_parse_set_arg(self):
+        axis = parse_set_arg("reliability.base_rber=1e-4,2e-4")
+        assert axis.path == "reliability.base_rber"
+        assert axis.values == (1e-4, 2e-4)
+
+    def test_parse_set_arg_single_value(self):
+        assert parse_set_arg("ftl=ppb").values == ("ppb",)
+
+    def test_parse_set_arg_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_set_arg("no-equals-sign")
+        with pytest.raises(ConfigError):
+            parse_set_arg("path=")
+        with pytest.raises(ConfigError):
+            parse_set_arg("=1,2")
+
+
+class TestBatchSetPaths:
+    """set_paths / sweep validate final specs only (order independence)."""
+
+    def test_set_paths_applies_interdependent_edits_in_any_order(self):
+        from repro.scenario.sweep import set_paths
+
+        for order in (
+            [("reread_age_s", 86400.0), ("reliability.base_rber", 2e-4)],
+            [("reliability.base_rber", 2e-4), ("reread_age_s", 86400.0)],
+        ):
+            spec = set_paths(ScenarioSpec(), order)
+            assert spec.reread_age_s == 86400.0
+            assert spec.reliability is not None
+
+    def test_set_paths_rejects_unknown_paths_before_mutating(self):
+        from repro.scenario.sweep import set_paths
+
+        with pytest.raises(ConfigError, match="speed_ratioo"):
+            set_paths(ScenarioSpec(), [("device.speed_ratioo", 2.0)])
+
+    def test_sweep_axis_order_does_not_matter_for_joint_validity(self):
+        """A reread axis listed before the reliability axis that permits
+        it must still expand (only final grid points validate)."""
+        reread = SweepAxis("reread_age_s", (0.0, 86400.0))
+        rber = SweepAxis("reliability.base_rber", (1e-4, 2e-4))
+        for axes in ([reread, rber], [rber, reread]):
+            grid = sweep(ScenarioSpec(), axes)
+            assert len(grid) == 4
+            assert all(s.reliability is not None for s in grid)
+
+    def test_sweep_still_rejects_invalid_final_points(self):
+        with pytest.raises(ConfigError, match="reread_age_s requires"):
+            sweep(ScenarioSpec(), [SweepAxis("reread_age_s", (0.0, 86400.0))])

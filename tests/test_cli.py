@@ -153,3 +153,211 @@ class TestPlacement:
     def test_unskewable_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["placement", "--workload", "uniform"])
+
+
+class TestScenario:
+    def _write(self, tmp_path, text, name="scenario.toml"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_single_run(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            'name = "demo"\nworkload = "uniform"\nnum_requests = 800\n'
+            "[device]\nblocks_per_chip = 64\n",
+        )
+        assert main(["scenario", "run", path]) == 0
+        out = capsys.readouterr().out
+        assert "== demo ==" in out
+        assert "erased blocks" in out
+
+    def test_sweep_file_prints_axis_columns(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            'workload = "uniform"\nnum_requests = 800\n'
+            "[device]\nblocks_per_chip = 64\n"
+            '[[sweep]]\npath = "device.speed_ratio"\nvalues = [2.0, 4.0]\n',
+        )
+        assert main(["scenario", "run", path]) == 0
+        out = capsys.readouterr().out
+        assert "speed_ratio" in out
+        assert "replays run" in out
+
+    def test_set_overrides_and_smoke_clamp(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            'workload = "uniform"\nnum_requests = 50000\n'
+            "[device]\nblocks_per_chip = 256\n",
+        )
+        code = main(
+            ["scenario", "run", path, "--smoke", "--set", "seed=7"]
+        )
+        assert code == 0
+        assert "erased blocks" in capsys.readouterr().out
+
+    def test_bad_field_reports_cleanly(self, tmp_path, capsys):
+        path = self._write(tmp_path, 'worklod = "web-sql"\n')
+        assert main(["scenario", "run", path]) == 2
+        assert "worklod" in capsys.readouterr().err
+
+    def test_missing_file_reports_cleanly(self, capsys):
+        assert main(["scenario", "run", "/nonexistent.toml"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_committed_retention_abtest_runs_at_smoke_scale(self, capsys):
+        """The ROADMAP's retention A/B scenario, from the committed file."""
+        code = main(
+            [
+                "scenario", "run",
+                "examples/scenarios/retention_abtest.toml",
+                "--smoke",
+                "--set", "num_requests=800",
+                "--set", "device.speed_ratio=2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "reread_age_s" in out
+        assert "aged rd (us/pg)" in out
+
+
+class TestGenericSweep:
+    def test_sweep_from_defaults(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--set", "num_requests=800",
+                "--set", "device.blocks_per_chip=64",
+                "--set", "workload=uniform",
+                "--set", "device.speed_ratio=2,4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "speed_ratio" in out
+        assert "replays run" in out
+
+    def test_single_value_sets_are_a_plain_run(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--set", "num_requests=800",
+                "--set", "device.blocks_per_chip=64",
+                "--set", "workload=uniform",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "erased blocks" in out
+
+    def test_reliability_axis_auto_attaches_the_stack(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--set", "num_requests=800",
+                "--set", "device.blocks_per_chip=64",
+                "--set", "workload=uniform",
+                "--set", "retention_age_s=0,2.6e6",
+                "--set", "reliability.base_rber=2e-4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "retries/rd" in out
+
+    def test_bad_path_reports_cleanly(self, capsys):
+        assert main(["sweep", "--set", "device.speed_ratioo=2,4"]) == 2
+        assert "speed_ratioo" in capsys.readouterr().err
+
+
+class TestReviewRegressions:
+    """Pins for review findings on the scenario CLI plumbing."""
+
+    def test_bad_workload_kwarg_key_is_a_clean_config_error(self, capsys):
+        """A misspelled workload_kwargs key must not escape as TypeError."""
+        code = main(
+            [
+                "sweep",
+                "--set", "num_requests=800",
+                "--set", "device.blocks_per_chip=64",
+                "--set", "workload_kwargs.zipf_thet=0.5,0.9",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "zipf_thet" in err
+
+    def test_smoke_clamps_sweep_axes_on_size_knobs(self, tmp_path, capsys):
+        """An axis over num_requests must not reapply full scale after --smoke."""
+        path = tmp_path / "big.toml"
+        path.write_text(
+            'workload = "uniform"\n'
+            "[device]\nblocks_per_chip = 64\n"
+            '[[sweep]]\npath = "num_requests"\nvalues = [40000, 60000]\n'
+        )
+        code = main(["scenario", "run", str(path), "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        # both axis values collapse to the clamp; the dedup leaves one row
+        assert out.count("| 1500") == 1
+        assert "40000" not in out and "60000" not in out
+
+    def test_set_args_are_order_independent(self, capsys):
+        """An axis needing a section attached by a later --set must work."""
+        args = [
+            "--set", "num_requests=800",
+            "--set", "device.blocks_per_chip=64",
+            "--set", "workload=uniform",
+            "--set", "reread_age_s=86400,172800",
+            "--set", "reliability.base_rber=2e-4",
+        ]
+        code = main(["sweep"] + args)
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "aged rd (us/pg)" in out
+
+
+class TestBuildTraceKwargGuard:
+    def test_build_trace_raises_config_error_for_unknown_kwarg(self):
+        from repro.errors import ConfigError
+        from repro.nand.spec import sim_spec
+        from repro.scenario.run import build_trace
+        from repro.scenario.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            workload="uniform",
+            num_requests=100,
+            device=sim_spec(blocks_per_chip=64),
+            workload_kwargs=(("zipf_thet", 0.5),),
+        )
+        with pytest.raises(ConfigError, match="zipf_thet"):
+            build_trace(spec)
+
+    def test_axis_order_independent_for_joint_validity(self, capsys):
+        """reread axis before the reliability axis that permits it."""
+        code = main(
+            [
+                "sweep",
+                "--set", "num_requests=300",
+                "--set", "device.blocks_per_chip=64",
+                "--set", "workload=uniform",
+                "--set", "reread_age_s=0,86400",
+                "--set", "reliability.base_rber=1e-4,2e-4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+
+    def test_smoke_clamp_survives_non_numeric_axis_values(self, capsys):
+        """Garbage in a size axis must die as ConfigError, not TypeError."""
+        code = main(
+            [
+                "sweep", "--smoke",
+                "--set", "workload=uniform",
+                "--set", "device.blocks_per_chip=64",
+                "--set", "num_requests=800,99999x",
+            ]
+        )
+        assert code == 2
+        assert "num_requests" in capsys.readouterr().err
