@@ -14,9 +14,11 @@ Throughput metric
 -----------------
 ``pages_per_sec`` counts the *page operations the replay performs* —
 warm-fill programs, host reads/writes, and GC/merge/refresh copy-backs
-— divided by the wall-clock of the whole ``replay_trace`` call (device
-construction included).  It is a simulator-throughput number, not a
-device-performance number.
+— divided by the wall-clock of the whole ``execute_scenario`` call
+(device construction included).  It is a simulator-throughput number,
+not a device-performance number.  The ``timed/queueing`` case runs the
+channel-parallel DES engine at saturation, so the event kernel's own
+speed is under the same regression gate as the FTL hot paths.
 
 Baselines are hardware-dependent: regenerate with ``repro perf
 --output BENCH_perf.json`` on the reference machine when a PR
@@ -31,11 +33,13 @@ import sys
 import time
 from dataclasses import dataclass, field
 
-from repro.bench.memo import ReplayRunner, ReplaySpec
+from repro.bench.memo import ReplayRunner, ReplaySpec, _as_scenario
 from repro.bench.placement import default_placement_reliability
 from repro.errors import ConfigError
+from repro.nand.spec import sim_spec
 from repro.reliability.retention import SECONDS_PER_HOUR
-from repro.sim.replay import replay_trace
+from repro.scenario.run import execute_scenario
+from repro.scenario.spec import ScenarioSpec
 
 #: Environment switch shared with the bench suite: shrink everything
 #: to CI-smoke size.
@@ -73,10 +77,10 @@ SMOKE_PERF = PerfScale("perf-smoke", num_requests=6_000, blocks_per_chip=96)
 
 @dataclass(frozen=True)
 class PerfCase:
-    """One timed replay."""
+    """One wall-clock-timed replay (legacy ReplaySpec accepted too)."""
 
     name: str
-    spec: ReplaySpec
+    spec: ScenarioSpec | ReplaySpec
 
 
 @dataclass
@@ -158,14 +162,34 @@ def perf_cases(scale: PerfScale) -> list[PerfCase]:
             ),
         )
     )
+    # The DES kernel itself under the gate: a saturated channel-parallel
+    # timed replay (4 chips / 2 channels, same total block budget as the
+    # figure cases so trace and GC pressure stay comparable).
+    cases.append(
+        PerfCase(
+            "timed/queueing",
+            ScenarioSpec(
+                workload="web-sql",
+                num_requests=scale.num_requests,
+                device=sim_spec(
+                    blocks_per_chip=max(24, scale.blocks_per_chip // 4),
+                    num_chips=4,
+                    num_channels=2,
+                ),
+                mode="timed",
+                queue_depth=64,
+                arrival_scale=8.0,
+            ),
+        )
+    )
     return cases
 
 
-def _pages_of(result, spec: ReplaySpec) -> int:
+def _pages_of(result, scenario: ScenarioSpec) -> int:
     """Page operations the replay performed (see module docstring)."""
     ftl = result.ftl
     stats = ftl.stats
-    warm_pages = int(spec.device_spec().logical_pages * spec.footprint_fraction)
+    warm_pages = int(scenario.device.logical_pages * scenario.effective_warm_fill)
     return int(
         warm_pages
         + stats.host_read_pages
@@ -178,28 +202,18 @@ def measure_case(case: PerfCase, repeats: int = 2) -> PerfMeasurement:
     """Time one case; keeps the best (least-interfered) repeat."""
     if repeats < 1:
         raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    scenario = _as_scenario(case.spec)
     runner = ReplayRunner()
-    trace = runner.trace_for(case.spec)  # build outside the timed region
-    spec = case.spec
+    trace = runner.trace_for(scenario)  # build outside the timed region
     best_wall = float("inf")
     pages = 0
     for _ in range(repeats):
         start = time.perf_counter()
-        result = replay_trace(
-            trace,
-            spec.device_spec(),
-            ftl_kind=spec.ftl,
-            ppb_config=spec.ppb,
-            warm_fill_fraction=spec.footprint_fraction,
-            reliability=spec.reliability,
-            refresh=spec.refresh,
-            retention_age_s=spec.retention_age_s,
-            reread_age_s=spec.reread_age_s,
-        )
+        result = execute_scenario(scenario, trace)
         wall = time.perf_counter() - start
         if wall < best_wall:
             best_wall = wall
-            pages = _pages_of(result, spec)
+            pages = _pages_of(result, scenario)
     return PerfMeasurement(
         name=case.name,
         wall_s=best_wall,

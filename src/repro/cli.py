@@ -75,7 +75,7 @@ from repro.bench.reporting import render_reports, run_figures
 from repro.errors import ConfigError
 from repro.nand.spec import sim_spec, table1_spec
 from repro.reliability.manager import ReliabilityConfig
-from repro.scenario.report import summarize_result, sweep_table
+from repro.scenario.report import summarize_result, sweep_table, timed_summary_lines
 from repro.scenario.serialize import ScenarioFile, load_scenario_file
 from repro.scenario.spec import ScenarioSpec
 from repro.scenario.sweep import SweepAxis, get_path, parse_set_arg, set_paths, sweep
@@ -123,6 +123,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sequential",
         help="timed mode queues requests at trace timestamps and "
         "reports response-time percentiles",
+    )
+    run.add_argument(
+        "--chips", type=int, default=1, help="NAND chips (timed mode overlaps them)"
+    )
+    run.add_argument(
+        "--channels",
+        type=int,
+        default=1,
+        help="host-interface channels (must divide --chips)",
+    )
+    run.add_argument(
+        "--queue-depth",
+        type=int,
+        default=0,
+        help="timed mode: bound on in-flight requests (0 = unbounded)",
+    )
+    run.add_argument(
+        "--arrival-scale",
+        type=float,
+        default=1.0,
+        help="timed mode: divide trace inter-arrival gaps by this "
+        "(open-loop intensity knob)",
     )
 
     rel = sub.add_parser(
@@ -525,14 +547,30 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = sim_spec(speed_ratio=args.speed_ratio, page_size=args.page_size)
-    generator = _WORKLOADS[args.workload](
-        num_requests=args.requests,
-        footprint_bytes=int(spec.logical_bytes * Cell.footprint_fraction),
-        seed=args.seed,
-    )
-    trace = generator.generate()
-    result = replay_trace(trace, spec, ftl_kind=args.ftl, mode=args.mode)
+    try:
+        spec = sim_spec(
+            speed_ratio=args.speed_ratio,
+            page_size=args.page_size,
+            num_chips=args.chips,
+            num_channels=args.channels,
+        )
+        generator = _WORKLOADS[args.workload](
+            num_requests=args.requests,
+            footprint_bytes=int(spec.logical_bytes * Cell.footprint_fraction),
+            seed=args.seed,
+        )
+        trace = generator.generate()
+        result = replay_trace(
+            trace,
+            spec,
+            ftl_kind=args.ftl,
+            mode=args.mode,
+            queue_depth=args.queue_depth,
+            arrival_scale=args.arrival_scale,
+        )
+    except ConfigError as exc:
+        print(f"repro-flash run: error: {exc}", file=sys.stderr)
+        return 2
     print(result.summary())
     ftl = result.ftl  # type: ignore[attr-defined]
     print(f"host read total   {ftl.stats.host_read_us / 1e6:.3f} s")
@@ -542,14 +580,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"write amp.        {ftl.stats.write_amplification:.3f}")
     if hasattr(ftl, "fast_page_read_fraction"):
         print(f"fast-half reads   {ftl.fast_page_read_fraction():.3f}")
-    percentiles = result.response_percentiles()
-    if percentiles:
-        print(
-            "response time     "
-            f"p50 {percentiles['p50_us']:.0f} us, "
-            f"p95 {percentiles['p95_us']:.0f} us, "
-            f"p99 {percentiles['p99_us']:.0f} us"
-        )
+    for line in timed_summary_lines(result):
+        print(line)
     return 0
 
 

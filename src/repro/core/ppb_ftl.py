@@ -15,6 +15,13 @@ Puts the pieces together on top of the shared FTL machinery
 * the GC driver, victim policy and accounting are inherited unchanged
   from the baseline, which is what makes the paper's "no added GC
   overhead" comparison meaningful.
+
+On multi-chip devices virtual blocks inherit the chip-striped free pool
+(consecutive VB allocations rotate chips), and the service path is
+chip-attributed through the :class:`~repro.nand.device.NandDevice` op
+log — including ECC retry penalties — so the timed replay mode can
+overlay chip/channel concurrency onto PPB requests exactly as it does
+for the baselines.  Single-chip behaviour is unchanged, byte for byte.
 """
 
 from __future__ import annotations

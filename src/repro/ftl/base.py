@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import OutOfSpaceError
-from repro.ftl.blockinfo import BlockManager
+from repro.ftl.blockinfo import BlockManager, chip_striped_order
 from repro.ftl.gc import GreedyVictimPolicy, VictimPolicy
 from repro.ftl.mapping import UNMAPPED, PageMapTable
 from repro.ftl.reliability_hooks import ReliabilityHost
@@ -72,7 +72,16 @@ class BaseFTL(ReliabilityHost):
         self.geometry = device.geometry
         self.num_lpns = self.spec.logical_pages
         self.map = PageMapTable(self.num_lpns, self.spec.total_pages)
-        self.blocks = BlockManager(self.spec.total_blocks, self.spec.pages_per_block)
+        # Chip-striped free order: consecutive allocations rotate chips,
+        # so multi-chip devices spread data (and the timed mode's chip
+        # queues) across the array; identity on single-chip devices.
+        self.blocks = BlockManager(
+            self.spec.total_blocks,
+            self.spec.pages_per_block,
+            free_order=chip_striped_order(
+                self.spec.total_blocks, self.spec.blocks_per_chip
+            ),
+        )
         self.stats = FtlStats()
         self.victim_policy = victim_policy or GreedyVictimPolicy()
         default_low = max(4, self.spec.total_blocks // 64)
@@ -127,7 +136,7 @@ class BaseFTL(ReliabilityHost):
         latency = self.device.read_ppn(ppn)
         reliability = self.reliability
         if reliability is not None:
-            latency += reliability.on_host_read(ppn)
+            latency += self._reliability_read_penalty(ppn)
         stats = self.stats
         stats.host_read_pages += 1
         stats.host_read_us += latency

@@ -33,6 +33,27 @@ class BlockState(enum.IntEnum):
 _FREE, _OPEN, _FULL = int(BlockState.FREE), int(BlockState.OPEN), int(BlockState.FULL)
 
 
+def chip_striped_order(num_blocks: int, blocks_per_chip: int) -> "range | list[int]":
+    """Initial free-pool order that interleaves chips.
+
+    ``0, B, 2B, ..., 1, B+1, ...`` for ``B = blocks_per_chip``:
+    consecutive block allocations land on different chips, so a fresh
+    device stripes its write streams — and therefore the data the warm
+    fill lays down — across every chip, which is what lets the timed
+    replay mode overlap chip work.  Identity (``range``) for a
+    single-chip device, keeping every existing single-chip replay
+    byte-identical.
+    """
+    num_chips = num_blocks // blocks_per_chip
+    if num_chips <= 1:
+        return range(num_blocks)
+    return [
+        chip * blocks_per_chip + block
+        for block in range(blocks_per_chip)
+        for chip in range(num_chips)
+    ]
+
+
 class BlockManager:
     """Tracks state, valid counts and the free pool for all blocks.
 
@@ -44,14 +65,23 @@ class BlockManager:
     victim policies.
     """
 
-    def __init__(self, num_blocks: int, pages_per_block: int) -> None:
+    def __init__(
+        self,
+        num_blocks: int,
+        pages_per_block: int,
+        free_order: "list[int] | range | None" = None,
+    ) -> None:
         if num_blocks < 2:
             raise FtlError(f"need at least 2 blocks, got {num_blocks}")
         self.num_blocks = num_blocks
         self.pages_per_block = pages_per_block
         self.state = [_FREE] * num_blocks
         self.valid_count = [0] * num_blocks
-        self.free_pool: deque[int] = deque(range(num_blocks))
+        if free_order is None:
+            free_order = range(num_blocks)
+        elif len(free_order) != num_blocks or set(free_order) != set(range(num_blocks)):
+            raise FtlError(f"free_order must be a permutation of range({num_blocks})")
+        self.free_pool: deque[int] = deque(free_order)
 
     # ------------------------------------------------------------------
     # Free pool

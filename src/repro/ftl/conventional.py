@@ -12,6 +12,13 @@ situation that motivates PPB.
 active block (host and relocated data no longer mix).  That variant has
 an implicit age-based hot/cold separation, making it a *stronger*
 baseline than the paper's; it is kept for the ablation benches.
+
+On multi-chip devices the inherited chip-striped free pool rotates the
+active block across chips as blocks fill, and every device command the
+service path issues is chip-attributed through the
+:class:`~repro.nand.device.NandDevice` op log — which is what the timed
+replay mode uses to overlay chip/channel concurrency onto this FTL's
+requests.  Single-chip behaviour is unchanged, byte for byte.
 """
 
 from __future__ import annotations

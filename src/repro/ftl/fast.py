@@ -40,7 +40,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.errors import FtlError, OutOfSpaceError
-from repro.ftl.blockinfo import BlockManager
+from repro.ftl.blockinfo import BlockManager, chip_striped_order
 from repro.ftl.mapping import UNMAPPED, PageMapTable
 from repro.ftl.reliability_hooks import ReliabilityHost
 from repro.ftl.stats import FtlStats
@@ -72,7 +72,15 @@ class FastFTL(ReliabilityHost):
         self.pages_per_block = pages
         self.num_lbns = (self.num_lpns + pages - 1) // pages
         self.map = PageMapTable(self.num_lpns, self.spec.total_pages)
-        self.blocks = BlockManager(self.spec.total_blocks, pages)
+        # Chip-striped free order (identity on single-chip devices): log
+        # and data blocks rotate chips, spreading timed-mode chip load.
+        self.blocks = BlockManager(
+            self.spec.total_blocks,
+            pages,
+            free_order=chip_striped_order(
+                self.spec.total_blocks, self.spec.blocks_per_chip
+            ),
+        )
         self.stats = FtlStats()
         if num_log_blocks is None:
             spare = self.spec.total_blocks - self.num_lbns
@@ -108,7 +116,7 @@ class FastFTL(ReliabilityHost):
         latency = self.device.read_ppn(ppn)
         reliability = self.reliability
         if reliability is not None:
-            latency += reliability.on_host_read(ppn)
+            latency += self._reliability_read_penalty(ppn)
         stats = self.stats
         stats.host_read_pages += 1
         stats.host_read_us += latency

@@ -23,6 +23,8 @@ Host contract
 -------------
 The mixin leans on state every FTL in this repository already carries:
 
+``self.device``
+    The :class:`~repro.nand.device.NandDevice` (retry op-log reports).
 ``self.blocks``
     A :class:`~repro.ftl.blockinfo.BlockManager` (refresh candidates).
 ``self.stats``
@@ -91,10 +93,22 @@ class ReliabilityHost:
     # ------------------------------------------------------------------
 
     def _reliability_read_penalty(self, ppn: int) -> float:
-        """ECC retry/recovery latency (us) a host read of ``ppn`` pays."""
-        if self.reliability is None:
+        """ECC retry/recovery latency (us) a host read of ``ppn`` pays.
+
+        Any retry is also reported against the device op log
+        (:meth:`~repro.nand.device.NandDevice.note_retry`) so the timed
+        replay mode attributes the re-sensing and re-transfer to the
+        chip/channel that performed it.  THE single definition of retry
+        accounting — both host read paths (BaseFTL and FastFTL) call
+        here, so they cannot drift apart.
+        """
+        reliability = self.reliability
+        if reliability is None:
             return 0.0
-        return self.reliability.on_host_read(ppn)
+        retry_us = reliability.on_host_read(ppn)
+        if retry_us:
+            self.device.note_retry(ppn, retry_us)
+        return retry_us
 
     def _reliability_note_program(self, pbn: int) -> None:
         """A live page was programmed into ``pbn`` (retention stamp)."""

@@ -5,6 +5,17 @@ routes commands to the owning chip.  All timing comes back as a latency
 in microseconds; the caller (FTL / SSD front end) decides how latencies
 compose (sequentially for a single queue, overlapped by the DES engine
 when channel parallelism is enabled).
+
+Service reporting (the op log)
+------------------------------
+The timed replay mode needs to know *which chip* each command busied
+and for how long, split into array time (occupies only the chip) and
+bus-transfer time (occupies the chip *and* its channel).  Between
+:meth:`NandDevice.begin_oplog` and :meth:`NandDevice.end_oplog` every
+command appends one ``(chip, array_us, transfer_us)`` segment — GC,
+merges and refresh relocations included, since they flow through the
+same four command entry points.  With no log armed (sequential replays,
+warm fill) the per-command cost is a single ``is not None`` check.
 """
 
 from __future__ import annotations
@@ -33,6 +44,9 @@ class NandDevice:
         self._blocks_per_chip = spec.blocks_per_chip
         self._total_pages = spec.total_pages
         self._total_blocks = spec.total_blocks
+        #: armed service-report log (see module docstring); ``None`` off.
+        self.oplog: list[tuple[int, float, float]] | None = None
+        self._page_transfer_us = self.latency.transfer_us()
         if spec.num_chips == 1:
             # Single-chip devices (every spec the paper sweeps) can skip
             # the chip-select divmod for the block-addressed queries:
@@ -40,6 +54,46 @@ class NandDevice:
             # range checks subsume check_pbn — are bound directly.
             self.next_page = self.chips[0].next_page  # type: ignore[method-assign]
             self.is_block_full = self.chips[0].is_block_full  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    # Service reporting (timed-mode op log)
+    # ------------------------------------------------------------------
+
+    def begin_oplog(self) -> list[tuple[int, float, float]]:
+        """Arm the service report; returns the (live) segment list."""
+        self.oplog = []
+        return self.oplog
+
+    def end_oplog(self) -> list[tuple[int, float, float]]:
+        """Disarm the service report; returns the collected segments."""
+        ops, self.oplog = self.oplog, None
+        return ops if ops is not None else []
+
+    def note_retry(self, ppn: int, retry_us: float) -> None:
+        """Report ECC read-retry latency against the chip owning ``ppn``.
+
+        Each retry step re-senses the array *and* re-transfers the page
+        (see :meth:`LatencyModel.retry_read_us`), so the step's transfer
+        share is logged in the bus slot — retries contend for the
+        channel exactly like first-try reads do.  No-op with no log
+        armed.
+        """
+        log = self.oplog
+        if log is not None:
+            page = ppn % self._pages_per_block
+            transfer = self._page_transfer_us
+            # retry_step_us defines what one step costs (array +
+            # transfer); deriving the split from it keeps this report
+            # coupled to the latency actually billed.
+            step_us = self.latency.retry_step_us[page]
+            transfer_share = retry_us * (transfer / step_us)
+            log.append(
+                (
+                    self.geometry.chip_of_ppn(ppn),
+                    retry_us - transfer_share,
+                    transfer_share,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Flat-address commands (hot path)
@@ -51,6 +105,15 @@ class NandDevice:
             self.geometry.check_ppn(ppn)
         pbn, page = divmod(ppn, self._pages_per_block)
         chip, block = divmod(pbn, self._blocks_per_chip)
+        log = self.oplog
+        if log is not None:
+            log.append(
+                (
+                    chip,
+                    self.latency.read_array_us[page],
+                    self._page_transfer_us if include_transfer else 0.0,
+                )
+            )
         return self.chips[chip].read(block, page, include_transfer=include_transfer)
 
     def program_ppn(self, ppn: int, tag: Any = None, include_transfer: bool = True) -> float:
@@ -59,6 +122,15 @@ class NandDevice:
             self.geometry.check_ppn(ppn)
         pbn, page = divmod(ppn, self._pages_per_block)
         chip, block = divmod(pbn, self._blocks_per_chip)
+        log = self.oplog
+        if log is not None:
+            log.append(
+                (
+                    chip,
+                    self.latency.program_array_us[page],
+                    self._page_transfer_us if include_transfer else 0.0,
+                )
+            )
         return self.chips[chip].program(block, page, tag=tag, include_transfer=include_transfer)
 
     def copy_page(self, src_ppn: int, dst_ppn: int) -> tuple[float, float]:
@@ -80,18 +152,28 @@ class NandDevice:
         src_chip, src_block = divmod(src_pbn, self._blocks_per_chip)
         dst_chip, dst_block = divmod(dst_pbn, self._blocks_per_chip)
         if src_chip == dst_chip:
-            return self.chips[src_chip].copyback(src_block, src_page, dst_block, dst_page)
-        read_us = self.chips[src_chip].read(src_block, src_page, include_transfer=False)
-        tag = self.chips[src_chip].tag(src_block, src_page)
-        program_us = self.chips[dst_chip].program(
-            dst_block, dst_page, tag=tag, include_transfer=False
-        )
-        return read_us, program_us
+            result = self.chips[src_chip].copyback(src_block, src_page, dst_block, dst_page)
+        else:
+            read_us = self.chips[src_chip].read(src_block, src_page, include_transfer=False)
+            tag = self.chips[src_chip].tag(src_block, src_page)
+            program_us = self.chips[dst_chip].program(
+                dst_block, dst_page, tag=tag, include_transfer=False
+            )
+            result = (read_us, program_us)
+        log = self.oplog
+        if log is not None:
+            log.append((src_chip, result[0], 0.0))
+            log.append((dst_chip, result[1], 0.0))
+        return result
 
     def erase_pbn(self, pbn: int) -> float:
         """Erase the block at flat address ``pbn``; returns latency (us)."""
         chip, block = self.geometry.split_pbn(pbn)
-        return self.chips[chip].erase(block)
+        latency = self.chips[chip].erase(block)
+        log = self.oplog
+        if log is not None:
+            log.append((chip, latency, 0.0))
+        return latency
 
     # ------------------------------------------------------------------
     # Flat-address queries

@@ -25,8 +25,11 @@ class Geometry:
         self.pages_per_block = spec.pages_per_block
         self.blocks_per_chip = spec.blocks_per_chip
         self.num_chips = spec.num_chips
+        self.num_channels = spec.num_channels
         self.total_blocks = spec.total_blocks
         self.total_pages = spec.total_pages
+        #: pages per chip, for the flat chip-of-PPN arithmetic.
+        self.pages_per_chip = spec.blocks_per_chip * spec.pages_per_block
 
     # -- PPN <-> (chip, block-in-chip, page) ---------------------------
 
@@ -86,6 +89,26 @@ class Geometry:
         """All PPNs of a block, in programming order."""
         start = self.first_ppn_of_pbn(pbn)
         return range(start, start + self.pages_per_block)
+
+    # -- Channel topology -----------------------------------------------
+
+    def chip_of_ppn(self, ppn: int) -> int:
+        """Chip owning ``ppn`` (flat arithmetic, range-checked)."""
+        if not 0 <= ppn < self.total_pages:
+            self.check_ppn(ppn)
+        return ppn // self.pages_per_chip
+
+    def channel_of_chip(self, chip: int) -> int:
+        """Host-interface channel chip ``chip`` is wired to.
+
+        Chips interleave across channels (chip ``c`` sits on channel
+        ``c % num_channels``), the conventional multi-channel NAND
+        wiring: consecutive chips land on different buses, so striped
+        data spreads bus load as well as array load.
+        """
+        if not 0 <= chip < self.num_chips:
+            raise AddressError(f"chip {chip} out of range [0, {self.num_chips})")
+        return chip % self.num_channels
 
     # -- Validation -----------------------------------------------------
 

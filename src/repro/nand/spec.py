@@ -50,6 +50,13 @@ class NandSpec:
     blocks_per_chip: int = 256
     #: Number of chips in the device (the paper models a single chip).
     num_chips: int = 1
+    #: Number of independent host-interface channels (buses).  Chips are
+    #: interleaved across channels (chip ``c`` sits on channel
+    #: ``c % num_channels``); must divide ``num_chips`` evenly so every
+    #: channel serves the same number of chips.  Only the timed replay
+    #: mode models channel contention — sequential-mode latencies are
+    #: per-operation sums and do not overlap transfers.
+    num_channels: int = 1
     #: Number of gate stack layers a vertical channel crosses.  Pages map
     #: onto layers in order; several pages may share one layer.
     num_layers: int = 64
@@ -85,6 +92,13 @@ class NandSpec:
             raise ConfigError(f"blocks_per_chip must be > 1, got {self.blocks_per_chip}")
         if self.num_chips < 1:
             raise ConfigError(f"num_chips must be >= 1, got {self.num_chips}")
+        if self.num_channels < 1:
+            raise ConfigError(f"num_channels must be >= 1, got {self.num_channels}")
+        if self.num_chips % self.num_channels:
+            raise ConfigError(
+                f"num_channels ({self.num_channels}) must divide num_chips "
+                f"({self.num_chips}) so channels serve equal chip counts"
+            )
         if self.num_layers < 1:
             raise ConfigError(f"num_layers must be >= 1, got {self.num_layers}")
         if self.num_layers > self.pages_per_block:
@@ -141,6 +155,15 @@ class NandSpec:
     def block_bytes(self) -> int:
         """Bytes per physical block."""
         return self.pages_per_block * self.page_size
+
+    @property
+    def chips_per_channel(self) -> int:
+        """Chips sharing one host-interface channel (bus).
+
+        The chip -> channel mapping itself lives in one place only:
+        :meth:`repro.nand.geometry.Geometry.channel_of_chip`.
+        """
+        return self.num_chips // self.num_channels
 
     @property
     def pages_per_layer(self) -> int:
@@ -200,6 +223,11 @@ class NandSpec:
                 f"Block erase time     {self.erase_us / 1000:.0f} ms",
                 f"Speed difference     {self.speed_ratio:.1f}x ({self.latency_profile})",
             ]
+            + (
+                [f"Chips / channels     {self.num_chips} / {self.num_channels}"]
+                if self.num_chips > 1 or self.num_channels > 1
+                else []
+            )
         )
 
 

@@ -53,15 +53,46 @@ def summarize_result(spec: ScenarioSpec, result: RunResult) -> str:
             f"aged re-read      {result.mean_read_page_us:.2f} us/page "
             f"(+{result.extra['reread.retries_per_read']:.2f} retries/read)"
         )
-    percentiles = result.response_percentiles()
-    if percentiles:
-        lines.append(
-            "response time     "
-            f"p50 {percentiles['p50_us']:.0f} us, "
-            f"p95 {percentiles['p95_us']:.0f} us, "
-            f"p99 {percentiles['p99_us']:.0f} us"
-        )
+    lines += timed_summary_lines(result)
     return "\n".join(lines)
+
+
+def timed_summary_lines(result: RunResult) -> list[str]:
+    """The timed-mode digest lines: overall and per-class response
+    percentiles, throughput and device utilization.
+
+    Shared by :func:`summarize_result` and ``repro run`` so the two
+    views can never drift; empty for sequential results.
+    """
+    percentiles = result.response_percentiles()
+    if not percentiles:
+        return []
+    lines = [
+        "response time     "
+        f"p50 {percentiles['p50_us']:.0f} us, "
+        f"p95 {percentiles['p95_us']:.0f} us, "
+        f"p99 {percentiles['p99_us']:.0f} us"
+    ]
+    for cls, values in result.class_response_percentiles().items():
+        lines.append(
+            f"{cls + ' responses':<18}"
+            f"p50 {values['p50_us']:.0f} us, "
+            f"p95 {values['p95_us']:.0f} us, "
+            f"p99 {values['p99_us']:.0f} us"
+        )
+    if result.simulated_us > 0:
+        lines.append(
+            f"throughput        {result.throughput_kiops:.2f} kIOPS "
+            f"({result.simulated_us / 1e6:.3f} s simulated)"
+        )
+    util = result.extra.get("timed.chip_util_mean")
+    if util is not None:
+        lines.append(
+            f"chip utilization  mean {util:.2f}, "
+            f"max {result.extra['timed.chip_util_max']:.2f} "
+            f"(bus max {result.extra['timed.bus_util_max']:.2f})"
+        )
+    return lines
 
 
 def sweep_table(
@@ -75,6 +106,7 @@ def sweep_table(
     axes = list(axes)
     any_reliability = any(s.reliability is not None for s in specs)
     any_reread = any(s.reread_age_s > 0 for s in specs)
+    any_timed = any(s.mode == "timed" for s in specs)
     headers = [axis.label for axis in axes]
     if not axes:
         headers = ["scenario"]
@@ -83,6 +115,10 @@ def sweep_table(
     else:
         headers += ["read (us/pg)"]
     headers += ["write (us/pg)", "erases", "WAF"]
+    if any_timed:
+        # The queueing view: response-time percentiles per request
+        # class, plus the replay's throughput.
+        headers += ["rd p50", "rd p95", "rd p99", "wr p50", "wr p95", "wr p99", "kIOPS"]
     if any_reliability:
         headers += ["retries/rd", "uncorr"]
     rows: list[list[object]] = []
@@ -107,6 +143,16 @@ def sweep_table(
             ftl.stats.erase_count,
             f"{ftl.stats.write_amplification:.2f}",
         ]
+        if any_timed:
+            if spec.mode == "timed":
+                per_class = result.class_response_percentiles()
+                for cls in ("read", "write"):
+                    values = per_class.get(cls)
+                    for key in ("p50_us", "p95_us", "p99_us"):
+                        row.append(f"{values[key]:.0f}" if values else "-")
+                row.append(f"{result.throughput_kiops:.2f}")
+            else:
+                row += ["-"] * 7
         if any_reliability:
             if spec.reliability is not None:
                 rel = ftl.reliability.stats

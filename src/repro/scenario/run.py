@@ -89,7 +89,12 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
         manager.reset_stats()
         if spec.retention_age_s > 0:
             manager.age_all(spec.retention_age_s)
-    result = ssd.replay(fitted, mode=spec.mode)
+    result = ssd.replay(
+        fitted,
+        mode=spec.mode,
+        queue_depth=spec.queue_depth,
+        arrival_scale=spec.arrival_scale,
+    )
     if spec.reread_age_s > 0:
         result = _reread_aged(ssd, ftl, manager, fitted, result, spec)
     result.ftl = ftl  # type: ignore[attr-defined]  # exposed for reports
@@ -113,7 +118,12 @@ def _reread_aged(
     checked_before = rel.checked_reads
     steps_before = rel.retry_steps
     retry_us_before = rel.retry_us
-    reread = ssd.replay(fitted.reads_only(), mode=spec.mode)
+    reread = ssd.replay(
+        fitted.reads_only(),
+        mode=spec.mode,
+        queue_depth=spec.queue_depth,
+        arrival_scale=spec.arrival_scale,
+    )
     pages = stats.host_read_pages - read_pages_before
     # ssd.replay finalizes means from the cumulative FTL stats; carve
     # out the phase-2 view so the aged-read cost is not diluted.

@@ -98,6 +98,14 @@ class ScenarioSpec:
     #: "sequential" (service-time accounting) or "timed" (queued
     #: arrivals with response-time percentiles).
     mode: str = "sequential"
+    #: timed mode: bound on in-flight requests (the host submission
+    #: queue); 0 = unbounded.  Arrivals block while the queue is full
+    #: and the admission wait counts toward response time.
+    queue_depth: int = 0
+    #: timed mode: open-loop arrival-intensity scale — inter-arrival
+    #: gaps of the trace are divided by this, so 2.0 doubles the
+    #: offered load.  The saturation sweeps' axis.
+    arrival_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -141,6 +149,10 @@ class ScenarioSpec:
             )
         if self.reread_age_s < 0:
             raise ConfigError(f"reread_age_s must be >= 0, got {self.reread_age_s}")
+        if self.queue_depth < 0:
+            raise ConfigError(f"queue_depth must be >= 0, got {self.queue_depth}")
+        if not self.arrival_scale > 0:
+            raise ConfigError(f"arrival_scale must be > 0, got {self.arrival_scale}")
         if self.reread_age_s > 0 and self.reliability is None:
             raise ConfigError("reread_age_s requires the reliability stack")
 
@@ -194,4 +206,9 @@ class ScenarioSpec:
             parts.append(f"age={self.retention_age_s:g}s")
         if self.reread_age_s:
             parts.append(f"reread={self.reread_age_s:g}s")
+        if self.mode == "timed":
+            timed = f"timed(x{self.arrival_scale:g}"
+            if self.queue_depth:
+                timed += f", qd={self.queue_depth}"
+            parts.append(timed + ")")
         return " ".join(parts)

@@ -5,10 +5,12 @@ A :class:`SweepAxis` names one knob by **dotted path** — any field of
 and the values to try::
 
     SweepAxis("device.speed_ratio", (2.0, 4.0))
+    SweepAxis("device.num_channels", (1, 2, 4))
     SweepAxis("reliability.base_rber", (1e-4, 2e-4))
     SweepAxis("ppb.reliability_weight", (0.0, 2.0, 8.0))
     SweepAxis("workload_kwargs.zipf_theta", (0.5, 0.95))
     SweepAxis("reread_age_s", (0.0, 2.6e6))
+    SweepAxis("arrival_scale", (1.0, 4.0, 16.0))
 
 :func:`sweep` expands a base spec and axes into the cross-product (first
 axis outermost, values in the order given), each element a frozen

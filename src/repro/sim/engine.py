@@ -38,6 +38,10 @@ class Event:
         self.engine = engine
         self.callbacks: list[Callable[["Event"], None]] = []
         self.triggered = False
+        #: set once the calendar has delivered the event's callbacks; a
+        #: callback added after this point will never fire (see
+        #: :meth:`Engine.all_of`, which must treat such events as done).
+        self.dispatched = False
         self.value: Any = None
 
     def succeed(self, value: Any = None) -> "Event":
@@ -113,6 +117,31 @@ class Engine:
         """Start a process from a generator of events."""
         return Process(self, generator)
 
+    def all_of(self, events: list[Event]) -> Event:
+        """An event that triggers once every given event has triggered.
+
+        The join the channel-parallel SSD front end needs: a request
+        that fanned out across several chips completes when its last
+        chip visit does.  Events that already ran to delivery count as
+        done immediately; an empty list yields an event that triggers
+        right away.
+        """
+        result = self.event()
+        pending = sum(1 for event in events if not event.dispatched)
+        if pending == 0:
+            return result.succeed()
+
+        def one_done(_: Event) -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0:
+                result.succeed()
+
+        for event in events:
+            if not event.dispatched:
+                event.callbacks.append(one_done)
+        return result
+
     # -- execution --------------------------------------------------------
 
     def run(self, until: float | None = None) -> None:
@@ -124,6 +153,7 @@ class Engine:
                 return
             heapq.heappop(self._heap)
             self.now = time
+            event.dispatched = True
             for callback in list(event.callbacks):
                 callback(event)
             event.callbacks.clear()

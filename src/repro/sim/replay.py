@@ -94,6 +94,8 @@ def replay_trace(
     refresh: bool = False,
     retention_age_s: float = 0.0,
     reread_age_s: float = 0.0,
+    queue_depth: int = 0,
+    arrival_scale: float = 1.0,
 ) -> RunResult:
     """Replay a prebuilt trace on a fresh device (compatibility shim).
 
@@ -116,5 +118,7 @@ def replay_trace(
         refresh=refresh,
         retention_age_s=retention_age_s,
         reread_age_s=reread_age_s,
+        queue_depth=queue_depth,
+        arrival_scale=arrival_scale,
     )
     return execute_scenario(scenario, trace)

@@ -1,8 +1,15 @@
 """FCFS resources for the DES kernel.
 
 :class:`Resource` models a unit (or pool) that processes must hold
-while using — the SSD front end uses one to serialize access to the
-flash back end per channel when replaying with queueing.
+while using — the SSD front end uses one per chip (array busy), one per
+channel (bus transfers) and optionally one counted pool for the host
+queue depth when replaying with queueing.
+
+Each resource keeps the accounting the queueing reports need: grant
+count, total time spent waiting in its queue, and the busy-time
+integral (``in_use`` integrated over simulated time), from which
+:meth:`Resource.utilization` derives the fraction-of-time-busy number
+the saturation studies plot.
 """
 
 from __future__ import annotations
@@ -21,16 +28,32 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: deque[Event] = deque()
+        self._waiters: deque[tuple[Event, float]] = deque()
+        #: grants handed out (immediate or after queueing).
+        self.grants = 0
+        #: total time grants spent queued before being served.
+        self.wait_us = 0.0
+        #: integral of ``in_use`` over time (see :meth:`utilization`).
+        self.busy_us = 0.0
+        self._last_change = engine.now
+
+    def _accrue(self) -> None:
+        """Fold the elapsed interval into the busy-time integral."""
+        now = self.engine.now
+        if self.in_use:
+            self.busy_us += self.in_use * (now - self._last_change)
+        self._last_change = now
 
     def request(self) -> Event:
         """An event that triggers when the resource is granted."""
         event = self.engine.event()
         if self.in_use < self.capacity:
+            self._accrue()
             self.in_use += 1
+            self.grants += 1
             event.succeed()
         else:
-            self._waiters.append(event)
+            self._waiters.append((event, self.engine.now))
         return event
 
     def release(self) -> None:
@@ -38,11 +61,32 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError("release without a matching request")
         if self._waiters:
-            self._waiters.popleft().succeed()
+            # Hand the unit straight over: in_use stays constant, so the
+            # busy integral continues uninterrupted.
+            event, enqueued = self._waiters.popleft()
+            self.wait_us += self.engine.now - enqueued
+            self.grants += 1
+            event.succeed()
         else:
+            self._accrue()
             self.in_use -= 1
 
     @property
     def queue_length(self) -> int:
         """Processes waiting for the resource."""
         return len(self._waiters)
+
+    def utilization(self, now: float | None = None) -> float:
+        """Fraction of capacity-time spent busy up to ``now``.
+
+        Defaults to the engine's current clock; returns 0.0 before any
+        time has passed.
+        """
+        if now is None:
+            now = self.engine.now
+        if now <= 0.0:
+            return 0.0
+        busy = self.busy_us
+        if self.in_use:
+            busy += self.in_use * (now - self._last_change)
+        return busy / (self.capacity * now)

@@ -15,6 +15,28 @@ Replay modes
     Requests arrive at their trace timestamps and queue for the device
     through the DES kernel; response time = queueing + service.  Closer
     to a real device under load; provided for studies beyond the paper.
+
+Timed-mode device model
+-----------------------
+On a single-chip, single-channel device the flash back end is one
+FCFS resource and a request holds it for its whole service time (the
+historical model, pinned byte-identical by the golden timed run).  On a
+multi-chip device the engine instead overlays *chip-level concurrency*:
+the FTL services each request synchronously in arrival order (so FTL
+state evolves deterministically, independent of timing), while the
+device op log reports which chips the request busied and for how long,
+split into array time (chip-only) and bus-transfer time (chip + its
+channel).  Each chip visit then queues on its chip's resource and each
+transfer additionally on the channel's bus resource, so requests that
+touch different chips proceed in parallel — ``NandSpec.num_chips`` and
+``num_channels`` finally buy concurrency instead of being serialized
+through one token.
+
+Two host-side knobs shape the arrival process: ``queue_depth`` bounds
+the number of in-flight requests (arrivals block at the submission
+queue when it is full — admission wait counts toward response time),
+and ``arrival_scale`` divides the trace's inter-arrival gaps, the
+open-loop intensity knob the saturation sweeps turn.
 """
 
 from __future__ import annotations
@@ -61,6 +83,12 @@ class RunResult:
     mean_write_page_us: float = 0.0
     #: response times from timed mode (empty in sequential mode).
     response_times_us: list[float] = field(default_factory=list)
+    #: timed-mode response times split by request class.
+    read_response_times_us: list[float] = field(default_factory=list)
+    write_response_times_us: list[float] = field(default_factory=list)
+    #: simulated makespan of a timed replay (0.0 in sequential mode);
+    #: ``num_requests / simulated_us`` is the replay's throughput.
+    simulated_us: float = 0.0
     #: strategy-specific counters snapshot.
     extra: dict[str, float] = field(default_factory=dict)
 
@@ -73,15 +101,30 @@ class RunResult:
         between order statistics, matching ``numpy.percentile``'s
         default method.
         """
-        times = self.response_times_us
-        if not times:
-            return {}
-        ordered = sorted(times)
-        return {
-            "p50_us": _quantile(ordered, 0.50),
-            "p95_us": _quantile(ordered, 0.95),
-            "p99_us": _quantile(ordered, 0.99),
-        }
+        return _percentiles(self.response_times_us)
+
+    def class_response_percentiles(self) -> dict[str, dict[str, float]]:
+        """Timed-mode response percentiles per request class.
+
+        ``{"read": {...}, "write": {...}}`` with the same keys as
+        :meth:`response_percentiles`; classes with no requests are
+        omitted, and the dict is empty in sequential mode.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for name, times in (
+            ("read", self.read_response_times_us),
+            ("write", self.write_response_times_us),
+        ):
+            if times:
+                out[name] = _percentiles(times)
+        return out
+
+    @property
+    def throughput_kiops(self) -> float:
+        """Timed-mode throughput in thousands of requests per second."""
+        if self.simulated_us <= 0.0:
+            return 0.0
+        return self.num_requests / self.simulated_us * 1e3
 
     @property
     def read_seconds(self) -> float:
@@ -111,6 +154,18 @@ def _quantile(ordered: list[float], q: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
     return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def _percentiles(times: list[float]) -> dict[str, float]:
+    """p50/p95/p99 dict of a response-time list (empty list -> {})."""
+    if not times:
+        return {}
+    ordered = sorted(times)
+    return {
+        "p50_us": _quantile(ordered, 0.50),
+        "p95_us": _quantile(ordered, 0.95),
+        "p99_us": _quantile(ordered, 0.99),
+    }
 
 
 class SSD:
@@ -186,12 +241,28 @@ class SSD:
             for chip in device.chips:
                 chip.stats = type(chip.stats)()
 
-    def replay(self, trace: Trace, mode: str = "sequential") -> RunResult:
-        """Replay a trace; returns aggregated :class:`RunResult`."""
+    def replay(
+        self,
+        trace: Trace,
+        mode: str = "sequential",
+        queue_depth: int = 0,
+        arrival_scale: float = 1.0,
+    ) -> RunResult:
+        """Replay a trace; returns aggregated :class:`RunResult`.
+
+        ``queue_depth`` (timed mode) bounds in-flight requests — 0
+        means an unbounded host queue; ``arrival_scale`` (timed mode)
+        divides inter-arrival gaps, scaling the offered load.  Both are
+        ignored by sequential replays, which have no arrival process.
+        """
+        if queue_depth < 0:
+            raise ConfigError(f"queue_depth must be >= 0, got {queue_depth}")
+        if not arrival_scale > 0.0:
+            raise ConfigError(f"arrival_scale must be > 0, got {arrival_scale}")
         if mode == "sequential":
             return self._replay_sequential(trace)
         if mode == "timed":
-            return self._replay_timed(trace)
+            return self._replay_timed(trace, queue_depth, arrival_scale)
         raise ConfigError(f"unknown replay mode {mode!r}")
 
     def _base_result(self, trace: Trace) -> RunResult:
@@ -219,40 +290,200 @@ class SSD:
         self._finalize(result)
         return result
 
-    def _replay_timed(self, trace: Trace) -> RunResult:
+    def _timed_topology(self) -> tuple[int, int]:
+        """(num_chips, num_channels) of the FTL's device (1/1 fallback
+        for bare test FTLs that carry no device)."""
+        device = getattr(self.ftl, "device", None)
+        spec = getattr(device, "spec", None)
+        if spec is None:
+            return 1, 1
+        return spec.num_chips, spec.num_channels
+
+    def _replay_timed(
+        self, trace: Trace, queue_depth: int, arrival_scale: float
+    ) -> RunResult:
         result = self._base_result(trace)
+        num_chips, num_channels = self._timed_topology()
+        if num_chips == 1 and num_channels == 1:
+            timed_extra = self._replay_timed_serialized(
+                trace, result, queue_depth, arrival_scale
+            )
+        else:
+            timed_extra = self._replay_timed_parallel(
+                trace, result, queue_depth, arrival_scale, num_chips, num_channels
+            )
+        self._finalize(result)  # rebuilds result.extra from the FTL stats
+        result.extra.update(timed_extra)
+        return result
+
+    def _timed_source(self, engine, trace: Trace, arrival_scale: float, slots, dispatch):
+        """The open-loop arrival process both timed paths share.
+
+        Walks the trace at its (scaled) timestamps, waits for a host
+        queue slot when one is configured, and hands each request — with
+        its arrival time, captured *before* any admission wait — to
+        ``dispatch``, the per-request coroutine of the device model in
+        use.  One definition, so the serialized and channel-parallel
+        engines can never disagree on the arrival semantics.
+        """
+        previous = 0.0
+        for request in trace:
+            gap = max(0.0, request.timestamp_us - previous)
+            previous = request.timestamp_us
+            if arrival_scale != 1.0:
+                gap /= arrival_scale
+            if gap:
+                yield engine.timeout(gap)
+            arrival = engine.now
+            if slots is not None:
+                yield slots.request()
+            engine.process(dispatch(request, arrival))
+
+    def _account_timed(
+        self, result: RunResult, request: IORequest, latency: float, response_us: float
+    ) -> None:
+        """Fold one completed timed request into the aggregates."""
+        result.response_times_us.append(response_us)
+        result.num_requests += 1
+        if request.is_read:
+            result.read_requests += 1
+            result.read_us += latency
+            result.read_response_times_us.append(response_us)
+        else:
+            result.write_requests += 1
+            result.write_us += latency
+            result.write_response_times_us.append(response_us)
+
+    def _replay_timed_serialized(
+        self,
+        trace: Trace,
+        result: RunResult,
+        queue_depth: int,
+        arrival_scale: float,
+    ) -> dict[str, float]:
+        """Single-chip, single-channel timed replay.
+
+        The historical capacity-1 model: a request holds the whole
+        back end for its summed service time.  With ``queue_depth=0``
+        and ``arrival_scale=1.0`` the event schedule — and therefore
+        every response time — is byte-identical to the pre-refactor
+        engine, which the golden timed run pins.
+        """
         engine = Engine()
         device = Resource(engine, capacity=1)
+        slots = Resource(engine, capacity=queue_depth) if queue_depth else None
 
-        def one_request(request: IORequest):
-            arrival = engine.now
+        def one_request(request: IORequest, arrival: float):
             grant = device.request()
             yield grant
             latency = self.service(request)
             yield engine.timeout(latency)
             device.release()
-            result.response_times_us.append(engine.now - arrival)
-            result.num_requests += 1
-            if request.is_read:
-                result.read_requests += 1
-                result.read_us += latency
-            else:
-                result.write_requests += 1
-                result.write_us += latency
+            if slots is not None:
+                slots.release()
+            self._account_timed(result, request, latency, engine.now - arrival)
 
-        def source():
-            previous = 0.0
-            for request in trace:
-                gap = max(0.0, request.timestamp_us - previous)
-                previous = request.timestamp_us
-                if gap:
-                    yield engine.timeout(gap)
-                engine.process(one_request(request))
-
-        engine.process(source())
+        engine.process(
+            self._timed_source(engine, trace, arrival_scale, slots, one_request)
+        )
         engine.run()
-        self._finalize(result)
-        return result
+        result.simulated_us = engine.now
+        if slots is not None:
+            return {"timed.admission_wait_us": slots.wait_us}
+        return {}
+
+    def _service_profiled(
+        self, request: IORequest
+    ) -> tuple[float, dict[int, list[float]]]:
+        """Service a request with the device op log armed.
+
+        Returns ``(latency, per_chip)`` where ``per_chip`` maps each
+        touched chip to its ``[transfer_us, array_us]`` totals for this
+        request (GC/merge/refresh work the request triggered included —
+        the synchronous stall a real device would impose).
+        """
+        device = self.ftl.device
+        device.begin_oplog()
+        latency = self.service(request)
+        ops = device.end_oplog()
+        per_chip: dict[int, list[float]] = {}
+        for chip, array_us, transfer_us in ops:
+            totals = per_chip.get(chip)
+            if totals is None:
+                per_chip[chip] = [transfer_us, array_us]
+            else:
+                totals[0] += transfer_us
+                totals[1] += array_us
+        return latency, per_chip
+
+    def _replay_timed_parallel(
+        self,
+        trace: Trace,
+        result: RunResult,
+        queue_depth: int,
+        arrival_scale: float,
+        num_chips: int,
+        num_channels: int,
+    ) -> dict[str, float]:
+        """Channel-parallel timed replay (the multi-chip DES model).
+
+        The FTL runs synchronously at each request's dispatch (so its
+        state — mappings, GC, wear — evolves in arrival order exactly
+        as the serialized model's does), and the timing overlay then
+        queues the reported chip visits: each visit holds its chip for
+        transfer + array time, and the transfer portion additionally
+        holds the chip's channel bus.  A request completes when its
+        last chip visit does.
+        """
+        engine = Engine()
+        device = self.ftl.device
+        channel_of = device.geometry.channel_of_chip
+        chips = [Resource(engine) for _ in range(num_chips)]
+        buses = [Resource(engine) for _ in range(num_channels)]
+        slots = Resource(engine, capacity=queue_depth) if queue_depth else None
+
+        def chip_visit(chip_index: int, transfer_us: float, array_us: float):
+            chip = chips[chip_index]
+            yield chip.request()
+            if transfer_us > 0.0:
+                bus = buses[channel_of(chip_index)]
+                yield bus.request()
+                yield engine.timeout(transfer_us)
+                bus.release()
+            if array_us > 0.0:
+                yield engine.timeout(array_us)
+            chip.release()
+
+        def one_request(request: IORequest, arrival: float):
+            latency, per_chip = self._service_profiled(request)
+            if per_chip:
+                visits = [
+                    engine.process(chip_visit(chip, transfer_us, array_us))
+                    for chip, (transfer_us, array_us) in per_chip.items()
+                ]
+                yield engine.all_of(visits)
+            if slots is not None:
+                slots.release()
+            self._account_timed(result, request, latency, engine.now - arrival)
+
+        engine.process(
+            self._timed_source(engine, trace, arrival_scale, slots, one_request)
+        )
+        engine.run()
+        makespan = engine.now
+        result.simulated_us = makespan
+        extra: dict[str, float] = {}
+        if makespan > 0.0:
+            chip_utils = [chip.utilization(makespan) for chip in chips]
+            bus_utils = [bus.utilization(makespan) for bus in buses]
+            extra["timed.chip_util_mean"] = sum(chip_utils) / len(chip_utils)
+            extra["timed.chip_util_max"] = max(chip_utils)
+            extra["timed.bus_util_max"] = max(bus_utils)
+            extra["timed.chip_wait_us"] = sum(chip.wait_us for chip in chips)
+            extra["timed.bus_wait_us"] = sum(bus.wait_us for bus in buses)
+            if slots is not None:
+                extra["timed.admission_wait_us"] = slots.wait_us
+        return extra
 
     def _finalize(self, result: RunResult) -> None:
         stats = getattr(self.ftl, "stats", None)

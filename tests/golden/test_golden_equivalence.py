@@ -53,15 +53,18 @@ def _assert_equal(path: str, expected, actual) -> None:
         assert expected == actual, f"{path}: {expected!r} != {actual!r}"
 
 
+#: capture() entries beyond the ReplaySpec matrix: the pre-refactor
+#: single-chip timed run and the PR 5 channel-parallel timed run.
+TIMED_RUNS = {"conventional/timed", "conventional/timed-multichip"}
+
+
 def test_golden_matrix_is_complete(golden):
     """Every spec in the capture matrix has a committed golden."""
-    expected = set(golden_specs()) | {"conventional/timed"}
+    expected = set(golden_specs()) | TIMED_RUNS
     assert expected == set(golden)
 
 
-@pytest.mark.parametrize(
-    "name", sorted(set(golden_specs()) | {"conventional/timed"})
-)
+@pytest.mark.parametrize("name", sorted(set(golden_specs()) | TIMED_RUNS))
 def test_golden_equivalence(golden, current, name):
     """The optimized simulator reproduces the pre-optimization numbers."""
     _assert_equal(name, golden[name], current[name])

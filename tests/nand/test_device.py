@@ -58,3 +58,60 @@ class TestAggregates:
         device.erase_pbn(0)
         device.erase_pbn(0)
         assert device.wear_spread() == 3
+
+
+class TestOpLog:
+    """The timed-mode service report: every command chip-attributed."""
+
+    def test_commands_logged_with_array_transfer_split(self):
+        spec = tiny_spec(num_chips=2)
+        device = NandDevice(spec)
+        page_transfer = device.latency.transfer_us()
+        log = device.begin_oplog()
+        device.program_ppn(0, tag="a")
+        device.read_ppn(0)
+        ops = device.end_oplog()
+        assert device.oplog is None  # disarmed
+        assert ops is log and len(ops) == 2
+        (p_chip, p_array, p_transfer), (r_chip, r_array, r_transfer) = ops
+        assert p_chip == r_chip == 0
+        assert p_array == device.latency.program_array_us[0]
+        assert r_array == device.latency.read_array_us[0]
+        assert p_transfer == r_transfer == page_transfer
+
+    def test_internal_moves_have_no_bus_share(self):
+        spec = tiny_spec(num_chips=2)
+        device = NandDevice(spec)
+        device.program_ppn(0, tag="x")
+        cross_chip_dst = device.geometry.make_ppn(1, 0, 0)
+        device.begin_oplog()
+        device.copy_page(0, cross_chip_dst)
+        erase_pbn = 0
+        device.erase_pbn(erase_pbn)
+        ops = device.end_oplog()
+        assert [op[0] for op in ops] == [0, 1, 0]  # src, dst, erased chip
+        assert all(op[2] == 0.0 for op in ops)  # copyback/erase skip the bus
+        assert ops[2][1] == spec.erase_us
+
+    def test_retry_reports_its_bus_share(self):
+        spec = tiny_spec()
+        device = NandDevice(spec)
+        transfer = device.latency.transfer_us()
+        array = device.latency.read_array_us[0]
+        steps = 3
+        retry_us = steps * (array + transfer)
+        device.begin_oplog()
+        device.note_retry(0, retry_us)
+        ((chip, array_us, transfer_us),) = device.end_oplog()
+        assert chip == 0
+        # The split recovers steps * array / steps * transfer exactly
+        # (up to float association).
+        assert transfer_us == pytest.approx(steps * transfer, rel=1e-12)
+        assert array_us == pytest.approx(steps * array, rel=1e-12)
+
+    def test_unarmed_log_costs_nothing_and_records_nothing(self):
+        device = NandDevice(tiny_spec())
+        device.program_ppn(0)
+        device.note_retry(0, 100.0)
+        assert device.oplog is None
+        assert device.end_oplog() == []

@@ -82,3 +82,20 @@ class TestBlockPageRelations:
                 assert ppn not in seen
                 seen.add(ppn)
         assert len(seen) == geometry.total_pages
+
+
+class TestChannelTopology:
+    def test_channel_of_chip_interleaves(self):
+        geometry = Geometry(tiny_spec(num_chips=4, num_channels=2))
+        assert [geometry.channel_of_chip(c) for c in range(4)] == [0, 1, 0, 1]
+        with pytest.raises(AddressError):
+            geometry.channel_of_chip(4)
+
+    def test_chip_of_ppn(self, geometry):
+        spec = geometry.spec
+        last_of_chip0 = spec.blocks_per_chip * spec.pages_per_block - 1
+        assert geometry.chip_of_ppn(0) == 0
+        assert geometry.chip_of_ppn(last_of_chip0) == 0
+        assert geometry.chip_of_ppn(last_of_chip0 + 1) == 1
+        with pytest.raises(AddressError):
+            geometry.chip_of_ppn(geometry.total_pages)

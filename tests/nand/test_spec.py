@@ -101,6 +101,9 @@ class TestValidation:
             {"pages_per_block": 1},
             {"blocks_per_chip": 1},
             {"num_chips": 0},
+            {"num_channels": 0},
+            {"num_chips": 4, "num_channels": 3},  # channels must divide chips
+            {"num_channels": 2},  # 2 channels cannot serve 1 chip
             {"num_layers": 0},
             {"speed_ratio": 0.5},
             {"latency_profile": "bogus"},
@@ -127,3 +130,17 @@ class TestValidation:
         assert "16 KiB" in text
         assert "384" in text
         assert "49 us" in text
+
+
+class TestChannelTopology:
+    def test_chips_per_channel(self):
+        assert NandSpec(num_chips=4, num_channels=2).chips_per_channel == 2
+
+    def test_single_channel_default(self):
+        spec = NandSpec()
+        assert spec.num_channels == 1
+        assert spec.chips_per_channel == 1
+
+    def test_describe_mentions_topology_only_when_parallel(self):
+        assert "Chips / channels" not in NandSpec().describe()
+        assert "4 / 2" in NandSpec(num_chips=4, num_channels=2).describe()

@@ -100,6 +100,7 @@ class TestCommittedExamples:
     def test_examples_exist(self):
         names = [os.path.basename(p) for p in self._example_files()]
         assert "retention_abtest.toml" in names
+        assert "queueing_saturation.toml" in names
 
     @pytest.mark.parametrize(
         "path",
@@ -127,3 +128,28 @@ class TestCommittedExamples:
         # the expansion produces runnable two-phase specs
         aged = [s for s in bundle.scenarios() if s.reread_age_s > 0]
         assert aged and all(s.reliability is not None for s in aged)
+
+    def test_queueing_saturation_is_the_channel_parallel_sweep(self):
+        """The PR 5 headline scenario: timed mode on a multi-chip
+        device, swept over FTL x speed ratio x arrival intensity."""
+        bundle = load_scenario_file(
+            os.path.join(SCENARIO_DIR, "queueing_saturation.toml")
+        )
+        base = bundle.base
+        assert base.mode == "timed"
+        assert base.device.num_chips > 1
+        assert base.device.num_channels > 1
+        paths = [axis.path for axis in bundle.axes]
+        assert "ftl" in paths and "arrival_scale" in paths
+        scales = dict(zip(paths, bundle.axes))["arrival_scale"].values
+        assert all(s > 0 for s in scales) and max(scales) > 1.0
+        # The base spec round-trips losslessly through TOML (it is the
+        # memo cache key; a lossy trip would fork the cache).
+        from repro.scenario.serialize import spec_from_toml, spec_to_toml
+
+        assert spec_from_toml(spec_to_toml(base)) == base
+
+    @pytest.mark.parametrize("value", ["0.0", "-2.5"])
+    def test_non_positive_arrival_scale_rejected_with_dotted_path(self, value):
+        with pytest.raises(ConfigError, match="arrival_scale"):
+            parse_scenario_file(f'mode = "timed"\narrival_scale = {value}\n', fmt="toml")

@@ -34,6 +34,7 @@ def devices() -> st.SearchStrategy[NandSpec]:
         NandSpec,
         page_size=st.sampled_from([8 * 1024, 16 * 1024]),
         blocks_per_chip=st.integers(min_value=48, max_value=512),
+        num_chips=st.sampled_from([1, 2, 4]),
         speed_ratio=st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
         latency_profile=st.sampled_from(["linear", "geometric", "physical"]),
         op_ratio=st.floats(min_value=0.05, max_value=0.2, allow_nan=False),
@@ -83,6 +84,8 @@ def scenarios() -> st.SearchStrategy[ScenarioSpec]:
         ),
         retention_age_s=st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
         mode=st.sampled_from(["sequential", "timed"]),
+        queue_depth=st.integers(min_value=0, max_value=256),
+        arrival_scale=st.floats(min_value=0.1, max_value=64.0, allow_nan=False),
     )
 
 
@@ -109,6 +112,17 @@ def test_toml_roundtrip_is_identity(spec):
 def test_reread_age_survives_roundtrip():
     spec = ScenarioSpec(reread_age_s=2.6e6, reliability=ReliabilityConfig())
     assert spec_from_toml(spec_to_toml(spec)) == spec
+
+
+def test_channel_topology_and_queueing_knobs_survive_roundtrip():
+    spec = ScenarioSpec(
+        device=NandSpec(num_chips=4, num_channels=2),
+        mode="timed",
+        queue_depth=64,
+        arrival_scale=16.0,
+    )
+    assert spec_from_toml(spec_to_toml(spec)) == spec
+    assert spec_from_json(spec_to_json(spec)) == spec
 
 
 # -- error reporting ---------------------------------------------------

@@ -108,3 +108,24 @@ class TestConvenience:
         text = spec.describe()
         for token in ("web-sql", "ppb", "4x", "+reliability", "+refresh", "reread"):
             assert token in text, text
+
+
+class TestTimedKnobs:
+    def test_defaults_are_open_loop(self):
+        spec = ScenarioSpec()
+        assert spec.queue_depth == 0
+        assert spec.arrival_scale == 1.0
+
+    def test_negative_queue_depth_rejected(self):
+        with pytest.raises(ConfigError, match="queue_depth"):
+            ScenarioSpec(queue_depth=-1)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_non_positive_arrival_scale_rejected(self, value):
+        with pytest.raises(ConfigError, match="arrival_scale"):
+            ScenarioSpec(arrival_scale=value)
+
+    def test_describe_shows_queueing_knobs_in_timed_mode(self):
+        spec = ScenarioSpec(mode="timed", arrival_scale=16.0, queue_depth=64)
+        assert "timed(x16, qd=64)" in spec.describe()
+        assert "timed" not in ScenarioSpec(arrival_scale=16.0).describe()

@@ -135,3 +135,68 @@ class TestRunControl:
         # at t=6 both fire; b's timeout was scheduled first (at t=3) so
         # the FIFO tie-break runs it first
         assert log == ["a", "b", "a", "b", "a"]
+
+
+class TestAllOf:
+    def test_waits_for_every_event(self):
+        engine = Engine()
+        log = []
+
+        def worker(delay):
+            yield engine.timeout(delay)
+
+        def joiner():
+            jobs = [engine.process(worker(d)) for d in (5.0, 2.0, 9.0)]
+            yield engine.all_of(jobs)
+            log.append(engine.now)
+
+        engine.process(joiner())
+        engine.run()
+        assert log == [9.0]
+
+    def test_empty_list_triggers_immediately(self):
+        engine = Engine()
+        log = []
+
+        def joiner():
+            yield engine.all_of([])
+            log.append(engine.now)
+
+        engine.process(joiner())
+        engine.run()
+        assert log == [0.0]
+
+    def test_already_dispatched_events_count_as_done(self):
+        engine = Engine()
+        log = []
+
+        def instant():
+            return
+            yield  # pragma: no cover — makes this a generator
+
+        early = engine.process(instant())  # completes at t=0
+
+        def joiner():
+            yield engine.timeout(3.0)
+            # ``early`` ran to delivery long ago; all_of must not hang.
+            yield engine.all_of([early, engine.process(instant())])
+            log.append(engine.now)
+
+        engine.process(joiner())
+        engine.run()
+        assert log == [3.0]
+
+    def test_single_event_passthrough(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            yield engine.timeout(4.0)
+
+        def joiner():
+            yield engine.all_of([engine.process(worker())])
+            log.append(engine.now)
+
+        engine.process(joiner())
+        engine.run()
+        assert log == [4.0]

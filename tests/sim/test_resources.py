@@ -83,3 +83,69 @@ class TestResource:
     def test_zero_capacity_rejected(self):
         with pytest.raises(SimulationError):
             Resource(Engine(), capacity=0)
+
+
+class TestAccounting:
+    def test_busy_integral_and_utilization(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield resource.request()
+            yield engine.timeout(4.0)
+            resource.release()
+            yield engine.timeout(6.0)  # idle tail
+
+        engine.process(worker())
+        engine.run()
+        assert resource.busy_us == pytest.approx(4.0)
+        assert resource.utilization(10.0) == pytest.approx(0.4)
+
+    def test_wait_time_accrues_only_when_queued(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker(hold):
+            yield resource.request()
+            yield engine.timeout(hold)
+            resource.release()
+
+        engine.process(worker(5.0))
+        engine.process(worker(3.0))
+        engine.run()
+        assert resource.grants == 2
+        assert resource.wait_us == pytest.approx(5.0)  # second waited 5
+
+    def test_handoff_keeps_busy_continuous(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker(hold):
+            yield resource.request()
+            yield engine.timeout(hold)
+            resource.release()
+
+        engine.process(worker(5.0))
+        engine.process(worker(3.0))
+        engine.run()
+        # Busy from 0 to 8 without a gap at the handoff instant.
+        assert resource.busy_us == pytest.approx(8.0)
+        assert resource.utilization(8.0) == pytest.approx(1.0)
+
+    def test_utilization_counts_inflight_holders(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+
+        def holder():
+            yield resource.request()
+            yield engine.timeout(10.0)
+            resource.release()
+
+        engine.process(holder())
+        engine.run(until=5.0)
+        # One of two units held for the whole window so far.
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_before_time_passes(self):
+        engine = Engine()
+        assert Resource(engine).utilization() == 0.0

@@ -1,0 +1,161 @@
+"""The channel-parallel timed engine: concurrency, knobs, invariants.
+
+These tests pin the tentpole claims of the multi-chip DES model:
+
+* chip parallelism buys real throughput and latency under load (the
+  paper-style acceptance check);
+* p95 response time is monotonically non-increasing in the number of
+  channels at a fixed workload (more buses never hurt);
+* the timing overlay never changes *what* the FTL does — sequential
+  and timed replays of one spec produce identical FTL aggregates;
+* the host-queue bound and the arrival-intensity scale behave as an
+  admission throttle and an open-loop load knob respectively.
+"""
+
+import pytest
+
+from repro.bench.memo import ReplayRunner
+from repro.errors import ConfigError
+from repro.ftl.conventional import ConventionalFTL
+from repro.nand.device import NandDevice
+from repro.nand.spec import sim_spec, tiny_spec
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.ssd import SSD
+from repro.traces.record import IORequest, OpType, Trace
+
+#: One shared memoizing runner: specs repeat across tests, replays don't.
+_RUNNER = ReplayRunner()
+
+
+def _run(**changes):
+    base = dict(
+        workload="web-sql",
+        num_requests=1200,
+        seed=42,
+        mode="timed",
+        arrival_scale=24.0,
+    )
+    base.update(changes)
+    return _RUNNER.run(ScenarioSpec(**base))
+
+
+def _device(num_chips, num_channels, total_blocks=64):
+    return sim_spec(
+        blocks_per_chip=total_blocks // num_chips,
+        num_chips=num_chips,
+        num_channels=num_channels,
+    )
+
+
+class TestChipParallelism:
+    """num_chips/num_channels finally buy concurrency in timed mode."""
+
+    def test_multichip_raises_throughput_and_lowers_p95(self):
+        single = _run(device=_device(1, 1))
+        multi = _run(device=_device(4, 2))
+        # Same trace, saturating open-loop load: four chips must finish
+        # measurably sooner and respond measurably faster.
+        assert multi.simulated_us < 0.8 * single.simulated_us
+        assert multi.throughput_kiops > 1.2 * single.throughput_kiops
+        single_p95 = single.response_percentiles()["p95_us"]
+        multi_p95 = multi.response_percentiles()["p95_us"]
+        assert multi_p95 < 0.8 * single_p95
+
+    def test_p95_monotone_nonincreasing_in_channels(self):
+        """More buses never make the fixed workload slower."""
+        results = [_run(device=_device(4, chans)) for chans in (1, 2, 4)]
+        p95s = [r.response_percentiles()["p95_us"] for r in results]
+        makespans = [r.simulated_us for r in results]
+        slack = 1.0 + 1e-9  # float-tie tolerance only
+        assert p95s[1] <= p95s[0] * slack
+        assert p95s[2] <= p95s[1] * slack
+        assert makespans[1] <= makespans[0] * slack
+        assert makespans[2] <= makespans[1] * slack
+
+    def test_utilization_extras_reported_for_multichip(self):
+        result = _run(device=_device(4, 2))
+        extra = result.extra
+        for key in (
+            "timed.chip_util_mean",
+            "timed.chip_util_max",
+            "timed.bus_util_max",
+        ):
+            assert 0.0 < extra[key] <= 1.0
+        assert extra["timed.chip_util_mean"] <= extra["timed.chip_util_max"]
+
+    def test_singlechip_timed_has_no_overlay_extras(self):
+        result = _run(device=_device(1, 1))
+        assert not any(key.startswith("timed.") for key in result.extra)
+
+
+class TestOverlayInvariants:
+    """Timing overlays concurrency; the FTL's work is untouched."""
+
+    @pytest.mark.parametrize("ftl", ["conventional", "fast", "ppb"])
+    def test_timed_and_sequential_do_identical_ftl_work(self, ftl):
+        device = _device(4, 2)
+        timed = _run(device=device, ftl=ftl)
+        sequential = _RUNNER.run(
+            ScenarioSpec(
+                workload="web-sql",
+                num_requests=1200,
+                seed=42,
+                device=device,
+                ftl=ftl,
+            )
+        )
+        assert timed.ftl.stats.snapshot() == sequential.ftl.stats.snapshot()
+        # RunResult sums accumulate in completion order under the
+        # overlay, so they match to float-association only.
+        assert timed.read_us == pytest.approx(sequential.read_us, rel=1e-12)
+        assert timed.write_us == pytest.approx(sequential.write_us, rel=1e-12)
+        assert timed.erase_count == sequential.erase_count
+
+    def test_response_classes_partition_the_responses(self):
+        result = _run(device=_device(4, 2))
+        assert len(result.read_response_times_us) == result.read_requests
+        assert len(result.write_response_times_us) == result.write_requests
+        assert (
+            len(result.read_response_times_us)
+            + len(result.write_response_times_us)
+            == len(result.response_times_us)
+        )
+        per_class = result.class_response_percentiles()
+        assert set(per_class) == {"read", "write"}
+        for values in per_class.values():
+            assert values["p50_us"] <= values["p95_us"] <= values["p99_us"]
+
+
+class TestHostKnobs:
+    def test_bounded_queue_applies_backpressure(self):
+        open_loop = _run(device=_device(4, 2))
+        bounded = _run(device=_device(4, 2), queue_depth=4)
+        # A 4-deep host queue stalls the arrival source, stretching the
+        # replay; the admission wait is reported.
+        assert bounded.simulated_us >= open_loop.simulated_us
+        assert bounded.extra["timed.admission_wait_us"] > 0.0
+
+    def test_arrival_scale_compresses_the_replay(self):
+        relaxed = _run(device=_device(4, 2), arrival_scale=1.0)
+        driven = _run(device=_device(4, 2), arrival_scale=64.0)
+        assert driven.simulated_us < relaxed.simulated_us
+        assert driven.throughput_kiops > relaxed.throughput_kiops
+        driven_p95 = driven.response_percentiles()["p95_us"]
+        relaxed_p95 = relaxed.response_percentiles()["p95_us"]
+        assert driven_p95 > relaxed_p95  # saturation costs latency
+
+    def test_knobs_also_drive_the_serialized_single_chip_path(self):
+        relaxed = _run(device=_device(1, 1), arrival_scale=1.0)
+        driven = _run(device=_device(1, 1), arrival_scale=64.0)
+        assert driven.simulated_us < relaxed.simulated_us
+        bounded = _run(device=_device(1, 1), queue_depth=2)
+        assert bounded.simulated_us >= driven.simulated_us
+
+    def test_replay_validates_knobs(self):
+        spec = tiny_spec()
+        ssd = SSD(ConventionalFTL(NandDevice(spec)), spec.page_size)
+        trace = Trace([IORequest(OpType.WRITE, 0, spec.page_size)])
+        with pytest.raises(ConfigError, match="queue_depth"):
+            ssd.replay(trace, mode="timed", queue_depth=-1)
+        with pytest.raises(ConfigError, match="arrival_scale"):
+            ssd.replay(trace, mode="timed", arrival_scale=0.0)

@@ -41,16 +41,25 @@ class TestPerfHarness:
         assert perf_scale() is SMOKE_PERF
 
     def test_case_matrix_covers_all_ftls_and_reliability(self):
-        names = [case.name for case in perf_cases(SMOKE_PERF)]
+        cases = perf_cases(SMOKE_PERF)
+        names = [case.name for case in cases]
         assert names == [
             "figure/conventional",
             "figure/fast",
             "figure/ppb",
             "reliability/refresh",
+            "timed/queueing",
         ]
-        reliability = perf_cases(SMOKE_PERF)[-1].spec
+        reliability = cases[-2].spec
         assert reliability.reliability is not None
         assert reliability.refresh
+        # The DES kernel case: channel-parallel timed mode at saturation.
+        queueing = cases[-1].spec
+        assert queueing.mode == "timed"
+        assert queueing.device.num_chips > 1
+        assert queueing.device.num_channels > 1
+        assert queueing.arrival_scale > 1.0
+        assert queueing.queue_depth > 0
 
     def test_run_and_report_roundtrip(self, tmp_path):
         report = run_perf(scale=SMOKE_PERF, repeats=1, cases=tiny_cases())
