@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.bench.memo import ReplayRunner, ReplaySpec, _as_scenario
 from repro.bench.placement import default_placement_reliability
 from repro.errors import ConfigError
+from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import sim_spec
 from repro.reliability.retention import SECONDS_PER_HOUR
 from repro.scenario.run import execute_scenario
@@ -159,6 +160,21 @@ def perf_cases(scale: PerfScale) -> list[PerfCase]:
                 reliability=default_placement_reliability(),
                 refresh=True,
                 retention_age_s=720.0 * SECONDS_PER_HOUR,
+            ),
+        )
+    )
+    # The demand-paged mapper under the gate: a constrained cache so the
+    # CMT miss/evict/write-back machinery — not the full-cache fast path
+    # — is what gets timed.
+    cases.append(
+        PerfCase(
+            "dftl/mapping-cache",
+            ScenarioSpec(
+                workload="web-sql",
+                num_requests=scale.num_requests,
+                device=sim_spec(blocks_per_chip=scale.blocks_per_chip),
+                ftl="dftl",
+                mapping=MappingConfig(cache_ratio=0.05, entries_per_page=512),
             ),
         )
     )

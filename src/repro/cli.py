@@ -111,7 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="replay one workload on one FTL")
     run.add_argument("--workload", choices=sorted(_WORKLOADS), default="web-sql")
     run.add_argument(
-        "--ftl", choices=["conventional", "fast", "ppb"], default="ppb"
+        "--ftl", choices=["conventional", "fast", "ppb", "dftl"], default="ppb"
     )
     run.add_argument("--requests", type=int, default=FULL_SCALE.num_requests)
     run.add_argument("--speed-ratio", type=float, default=2.0)
@@ -153,7 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rel.add_argument("--workload", choices=sorted(_WORKLOADS), default="web-sql")
     rel.add_argument(
-        "--ftl", choices=["conventional", "fast", "ppb"], default="conventional"
+        "--ftl", choices=["conventional", "fast", "ppb", "dftl"], default="conventional"
     )
     rel.add_argument("--requests", type=int, default=8_000)
     rel.add_argument("--blocks", type=int, default=96, help="blocks per chip")

@@ -71,7 +71,7 @@ class BaseFTL(ReliabilityHost):
         self.spec = device.spec
         self.geometry = device.geometry
         self.num_lpns = self.spec.logical_pages
-        self.map = PageMapTable(self.num_lpns, self.spec.total_pages)
+        self.map = self._make_map()
         # Chip-striped free order: consecutive allocations rotate chips,
         # so multi-chip devices spread data (and the timed mode's chip
         # queues) across the array; identity on single-chip devices.
@@ -211,6 +211,10 @@ class BaseFTL(ReliabilityHost):
     # ------------------------------------------------------------------
     # Mapping / accounting plumbing
     # ------------------------------------------------------------------
+
+    def _make_map(self) -> PageMapTable:
+        """Build the L2P map (hook: DFTL substitutes a sparse table)."""
+        return PageMapTable(self.num_lpns, self.spec.total_pages)
 
     def _commit_mapping(self, lpn: int, ppn: int) -> None:
         """Record the new copy and invalidate the superseded one.

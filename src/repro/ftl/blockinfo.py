@@ -32,6 +32,12 @@ class BlockState(enum.IntEnum):
 #: IntEnum comparison costs an attribute walk + rich compare per call).
 _FREE, _OPEN, _FULL = int(BlockState.FREE), int(BlockState.OPEN), int(BlockState.FULL)
 
+#: Block content classes: what kind of pages a block is filling with.
+#: GC dispatches on this (a translation block relocates via the
+#: directory, not the L2P map), and victim policies can filter by it.
+DATA_KLASS = 0
+TRANS_KLASS = 1
+
 
 def chip_striped_order(num_blocks: int, blocks_per_chip: int) -> "range | list[int]":
     """Initial free-pool order that interleaves chips.
@@ -77,6 +83,9 @@ class BlockManager:
         self.pages_per_block = pages_per_block
         self.state = [_FREE] * num_blocks
         self.valid_count = [0] * num_blocks
+        #: content class per block (DATA_KLASS / TRANS_KLASS); set at
+        #: allocation by class-aware FTLs, reset on release.
+        self.klass = [DATA_KLASS] * num_blocks
         if free_order is None:
             free_order = range(num_blocks)
         elif len(free_order) != num_blocks or set(free_order) != set(range(num_blocks)):
@@ -108,6 +117,7 @@ class BlockManager:
                 f"releasing block {pbn} with {self.valid_count[pbn]} valid pages"
             )
         self.state[pbn] = _FREE
+        self.klass[pbn] = DATA_KLASS
         self.free_pool.append(pbn)
 
     # ------------------------------------------------------------------
@@ -154,15 +164,40 @@ class BlockManager:
         self._check(pbn)
         return BlockState(self.state[pbn])
 
+    def set_klass(self, pbn: int, klass: int) -> None:
+        """Tag an allocated block with its content class."""
+        self._check(pbn)
+        self.klass[pbn] = klass
+
+    def klass_of(self, pbn: int) -> int:
+        """Content class of the block (DATA_KLASS for class-oblivious FTLs)."""
+        self._check(pbn)
+        return self.klass[pbn]
+
     def valid_of(self, pbn: int) -> int:
         """Valid page count of the block."""
         self._check(pbn)
         return self.valid_count[pbn]
 
-    def victim_candidates(self, exclude: set[int] | None = None) -> np.ndarray:
-        """PBNs eligible for GC: FULL blocks, minus an exclusion set."""
+    def victim_candidates(
+        self, exclude: set[int] | None = None, klass: int | None = None
+    ) -> np.ndarray:
+        """PBNs eligible for GC: FULL blocks, minus an exclusion set.
+
+        ``klass`` restricts candidates to one content class (e.g. only
+        translation blocks); ``None`` considers every FULL block.
+        """
         state = self.state
-        if exclude:
+        if klass is not None:
+            klasses = self.klass
+            full = [
+                pbn
+                for pbn, s in enumerate(state)
+                if s == _FULL
+                and klasses[pbn] == klass
+                and not (exclude and pbn in exclude)
+            ]
+        elif exclude:
             full = [
                 pbn
                 for pbn, s in enumerate(state)

@@ -23,7 +23,13 @@ _FULL_STATE = int(BlockState.FULL)
 
 
 class VictimPolicy:
-    """Interface: pick a GC victim among FULL blocks."""
+    """Interface: pick a GC victim among FULL blocks.
+
+    ``klass`` restricts the choice to one block content class (see
+    :data:`~repro.ftl.blockinfo.TRANS_KLASS`); ``None`` — the default,
+    and what every class-oblivious FTL passes — considers all FULL
+    blocks regardless of what they hold.
+    """
 
     name = "abstract"
 
@@ -32,6 +38,7 @@ class VictimPolicy:
         blocks: BlockManager,
         exclude: set[int] | None = None,
         now: float = 0.0,
+        klass: int | None = None,
     ) -> int | None:
         """Return the victim PBN, or None when nothing is eligible."""
         raise NotImplementedError
@@ -53,6 +60,7 @@ class GreedyVictimPolicy(VictimPolicy):
         blocks: BlockManager,
         exclude: set[int] | None = None,
         now: float = 0.0,
+        klass: int | None = None,
     ) -> int | None:
         # Scan the python state lists directly: candidates ascend, ties
         # resolve to the lowest PBN — exactly np.argmin's first-hit rule
@@ -60,7 +68,19 @@ class GreedyVictimPolicy(VictimPolicy):
         valid_count = blocks.valid_count
         best_pbn = -1
         best_valid = blocks.pages_per_block + 1
-        if exclude:
+        if klass is not None:
+            klasses = blocks.klass
+            for pbn, state in enumerate(blocks.state):
+                if (
+                    state == _FULL_STATE
+                    and klasses[pbn] == klass
+                    and not (exclude and pbn in exclude)
+                ):
+                    valid = valid_count[pbn]
+                    if valid < best_valid:
+                        best_valid = valid
+                        best_pbn = pbn
+        elif exclude:
             for pbn, state in enumerate(blocks.state):
                 if state == _FULL_STATE and pbn not in exclude:
                     valid = valid_count[pbn]
@@ -100,8 +120,9 @@ class CostBenefitVictimPolicy(VictimPolicy):
         blocks: BlockManager,
         exclude: set[int] | None = None,
         now: float = 0.0,
+        klass: int | None = None,
     ) -> int | None:
-        candidates = blocks.victim_candidates(exclude)
+        candidates = blocks.victim_candidates(exclude, klass=klass)
         if candidates.size == 0:
             return None
         best_pbn: int | None = None
@@ -136,8 +157,9 @@ class RandomVictimPolicy(VictimPolicy):
         blocks: BlockManager,
         exclude: set[int] | None = None,
         now: float = 0.0,
+        klass: int | None = None,
     ) -> int | None:
-        candidates = blocks.victim_candidates(exclude)
+        candidates = blocks.victim_candidates(exclude, klass=klass)
         if candidates.size == 0:
             return None
         return int(self.rng.choice(candidates))

@@ -16,10 +16,16 @@ cheap because they slice the list once per *block*, not per page.
 
 from __future__ import annotations
 
-from repro.errors import MappingError
+from repro.errors import ConfigError, MappingError
 
 #: Sentinel for "unmapped" in both directions.
 UNMAPPED = -1
+
+#: Largest combined table size (l2p + p2l entries) the dense full map
+#: will allocate.  2**26 entries is ~1 TB of 16 KB pages and already
+#: costs ~0.5 GB of host RAM as Python lists; anything past it must use
+#: the demand-paged mapper, which allocates nothing up front.
+FULL_MAP_MAX_ENTRIES = 1 << 26
 
 
 class PageMapTable:
@@ -29,6 +35,14 @@ class PageMapTable:
         if num_lpns < 1 or num_ppns < 1:
             raise MappingError(
                 f"need positive table sizes, got lpns={num_lpns}, ppns={num_ppns}"
+            )
+        if num_lpns + num_ppns > FULL_MAP_MAX_ENTRIES:
+            raise ConfigError(
+                f"a full in-RAM page map for this geometry would allocate "
+                f"{num_lpns + num_ppns} entries (limit {FULL_MAP_MAX_ENTRIES}); "
+                f'use the demand-paged mapper instead: set ftl = "dftl" and '
+                f"size its cache with the mapping knobs "
+                f"(mapping.cache_entries or mapping.cache_ratio)"
             )
         self.num_lpns = num_lpns
         self.num_ppns = num_ppns

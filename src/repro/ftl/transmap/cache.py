@@ -1,0 +1,169 @@
+"""The cached mapping table (CMT): bounded, LRU-ordered, dirty-tracked.
+
+The CMT holds the hot subset of the LPN -> PPN map in host RAM.  A
+lookup hit costs nothing on the device; a miss makes the FTL read the
+backing translation page from flash (and possibly evict first).  Dirty
+entries — mappings changed since their translation page was last
+written — are tracked per *translation page group* so an eviction can
+batch-flush every dirty neighbour in one page program, which is the
+write-amplification lever of the DFTL design.
+
+The cache itself never touches the device: the owning FTL interprets
+evictions and dirty groups into real NAND operations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import FtlError, MappingError
+
+#: distinguishes "not cached" from a cached UNMAPPED (-1) entry.
+_ABSENT = object()
+
+
+class CachedMappingTable:
+    """Bounded LRU cache of mapping entries with dirty-group tracking."""
+
+    def __init__(self, capacity: int, entries_per_page: int) -> None:
+        if capacity < 1:
+            raise FtlError(f"mapping cache needs capacity >= 1, got {capacity}")
+        if entries_per_page < 1:
+            raise FtlError(
+                f"entries_per_page must be >= 1, got {entries_per_page}"
+            )
+        self.capacity = capacity
+        self.entries_per_page = entries_per_page
+        #: LPN -> PPN in LRU order (oldest first).
+        self._entries: OrderedDict[int, int] = OrderedDict()
+        #: LPNs whose cached mapping is newer than the persisted one.
+        self._dirty: set[int] = set()
+        #: TVPN -> dirty LPNs of that translation page (batch flushing).
+        self._dirty_groups: dict[int, set[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._entries
+
+    @property
+    def dirty_count(self) -> int:
+        """Entries awaiting write-back."""
+        return len(self._dirty)
+
+    def lookup(self, lpn: int):
+        """The cached PPN of ``lpn`` (refreshing LRU), or None on a miss."""
+        entries = self._entries
+        ppn = entries.get(lpn, _ABSENT)
+        if ppn is _ABSENT:
+            self.misses += 1
+            return None
+        entries.move_to_end(lpn)
+        self.hits += 1
+        return ppn
+
+    def peek(self, lpn: int):
+        """The cached PPN without touching LRU order or counters."""
+        ppn = self._entries.get(lpn, _ABSENT)
+        return None if ppn is _ABSENT else ppn
+
+    def put(self, lpn: int, ppn: int, dirty: bool) -> None:
+        """Insert or update an entry (updates refresh LRU order).
+
+        Inserting into a full cache is a caller bug — the owning FTL
+        must evict first so the flush traffic is accounted.
+        """
+        entries = self._entries
+        if lpn in entries:
+            entries[lpn] = ppn
+            entries.move_to_end(lpn)
+        else:
+            if len(entries) >= self.capacity:
+                raise FtlError(
+                    f"mapping cache full ({self.capacity} entries); "
+                    "evict before inserting"
+                )
+            entries[lpn] = ppn
+            self.insertions += 1
+        if dirty and lpn not in self._dirty:
+            self._dirty.add(lpn)
+            self._dirty_groups.setdefault(
+                lpn // self.entries_per_page, set()
+            ).add(lpn)
+
+    def evict_lru(self) -> tuple[int, int, bool]:
+        """Pop the least-recently-used entry; returns (lpn, ppn, was_dirty).
+
+        A dirty victim is *handed to the caller* for write-back — the
+        cache forgets it, so losing it is the caller's (tested) bug.
+        """
+        if not self._entries:
+            raise FtlError("mapping cache empty; nothing to evict")
+        lpn, ppn = self._entries.popitem(last=False)
+        self.evictions += 1
+        dirty = lpn in self._dirty
+        if dirty:
+            self._drop_dirty(lpn)
+        return lpn, ppn, dirty
+
+    def mark_clean(self, lpn: int) -> None:
+        """The entry's mapping was persisted; keep it cached, clean."""
+        if lpn in self._dirty:
+            self._drop_dirty(lpn)
+
+    def dirty_entries_of(self, tvpn: int) -> list[tuple[int, int]]:
+        """Dirty (lpn, ppn) pairs of one translation page, LPN-ascending."""
+        lpns = self._dirty_groups.get(tvpn)
+        if not lpns:
+            return []
+        entries = self._entries
+        return [(lpn, entries[lpn]) for lpn in sorted(lpns)]
+
+    def dirty_tvpns(self) -> list[int]:
+        """Translation pages with at least one dirty entry, ascending."""
+        return sorted(self._dirty_groups)
+
+    def _drop_dirty(self, lpn: int) -> None:
+        self._dirty.discard(lpn)
+        tvpn = lpn // self.entries_per_page
+        group = self._dirty_groups.get(tvpn)
+        if group is not None:
+            group.discard(lpn)
+            if not group:
+                del self._dirty_groups[tvpn]
+
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Internal invariants (test support)."""
+        if len(self._entries) > self.capacity:
+            raise MappingError(
+                f"cache holds {len(self._entries)} > capacity {self.capacity}"
+            )
+        for lpn in self._dirty:
+            if lpn not in self._entries:
+                raise MappingError(f"dirty LPN {lpn} is not cached")
+        grouped = set()
+        for tvpn, lpns in self._dirty_groups.items():
+            if not lpns:
+                raise MappingError(f"empty dirty group for TVPN {tvpn}")
+            for lpn in lpns:
+                if lpn // self.entries_per_page != tvpn:
+                    raise MappingError(
+                        f"LPN {lpn} filed under wrong TVPN {tvpn}"
+                    )
+            grouped |= lpns
+        if grouped != self._dirty:
+            raise MappingError("dirty set and dirty groups disagree")
+        if self.insertions - self.evictions != len(self._entries):
+            raise MappingError(
+                f"{self.insertions} insertions - {self.evictions} evictions "
+                f"!= {len(self._entries)} resident entries"
+            )

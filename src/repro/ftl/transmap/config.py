@@ -1,0 +1,73 @@
+"""Knobs of the demand-paged mapping subsystem.
+
+Every field is a plain scalar so the config serializes through the
+scenario file machinery (``[mapping]`` table in TOML, dotted sweep
+paths like ``mapping.cache_ratio``) exactly like
+:class:`~repro.core.config.PPBConfig` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Configuration of the ``dftl`` FTL's translation stack.
+
+    The cache budget resolves at FTL construction: ``cache_entries`` if
+    set, else ``cache_ratio`` of the device's logical page count.  The
+    defaults (full coverage) make an unconstrained DFTL behave — and
+    measure — exactly like the full-map conventional FTL, which is the
+    equivalence property the golden tests pin.
+    """
+
+    #: absolute cached-entry budget; 0 = derive from ``cache_ratio``.
+    cache_entries: int = 0
+    #: cache budget as a fraction of the device's logical pages,
+    #: consulted only while ``cache_entries`` is 0.
+    cache_ratio: float = 1.0
+    #: mapping entries per translation page; 0 = derive from the device
+    #: page size and ``entry_bytes``.
+    entries_per_page: int = 0
+    #: bytes one persisted mapping entry occupies (PPN width).
+    entry_bytes: int = 8
+    #: cache entries reclaimed per eviction round; dirty victims still
+    #: batch-flush *every* dirty entry of their translation page.
+    evict_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cache_entries < 0:
+            raise ConfigError(
+                f"mapping.cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        if not 0.0 < self.cache_ratio <= 1.0:
+            raise ConfigError(
+                f"mapping.cache_ratio must be in (0, 1], got {self.cache_ratio}"
+            )
+        if self.entries_per_page < 0:
+            raise ConfigError(
+                f"mapping.entries_per_page must be >= 0, got {self.entries_per_page}"
+            )
+        if self.entry_bytes < 1:
+            raise ConfigError(
+                f"mapping.entry_bytes must be >= 1, got {self.entry_bytes}"
+            )
+        if self.evict_batch < 1:
+            raise ConfigError(
+                f"mapping.evict_batch must be >= 1, got {self.evict_batch}"
+            )
+
+    def resolve_cache_entries(self, num_lpns: int) -> int:
+        """The effective cached-entry budget for a device of ``num_lpns``."""
+        if self.cache_entries:
+            return self.cache_entries
+        return max(1, int(num_lpns * self.cache_ratio))
+
+    def resolve_entries_per_page(self, page_size: int) -> int:
+        """The effective mapping entries one translation page holds."""
+        if self.entries_per_page:
+            return self.entries_per_page
+        return max(1, page_size // self.entry_bytes)

@@ -152,6 +152,12 @@ class NandSpec:
         return self.logical_pages * self.page_size
 
     @property
+    def full_map_entries(self) -> int:
+        """Entries a dense in-RAM page map would allocate (l2p + p2l);
+        what :data:`repro.ftl.mapping.FULL_MAP_MAX_ENTRIES` bounds."""
+        return self.logical_pages + self.total_pages
+
+    @property
     def block_bytes(self) -> int:
         """Bytes per physical block."""
         return self.pages_per_block * self.page_size

@@ -23,6 +23,13 @@ def _fmt_axis(value: object) -> str:
     return str(value)
 
 
+def _mapping_hit_ratio(extra: dict) -> float:
+    """CMT hit ratio over the replay (1.0 when the cache never missed)."""
+    hits = extra.get("cmt.hits", 0.0)
+    misses = extra.get("cmt.misses", 0.0)
+    return hits / (hits + misses) if hits + misses else 1.0
+
+
 def summarize_result(spec: ScenarioSpec, result: RunResult) -> str:
     """Multi-line digest of one scenario run (the ``scenario run`` view)."""
     ftl = result.ftl  # type: ignore[attr-defined]
@@ -39,6 +46,13 @@ def summarize_result(spec: ScenarioSpec, result: RunResult) -> str:
     ]
     if hasattr(ftl, "fast_page_read_fraction"):
         lines.append(f"fast-half reads   {ftl.fast_page_read_fraction():.3f}")
+    if spec.ftl == "dftl":
+        extra = ftl.stats.extra
+        lines.append(f"map cache hits    {_mapping_hit_ratio(extra):.3f}")
+        lines.append(
+            "trans reads/writes"
+            f" {int(extra.get('trans.reads', 0))}/{int(extra.get('trans.writes', 0))}"
+        )
     if spec.reliability is not None:
         rel = ftl.reliability.stats
         lines.append(f"retries/read      {rel.mean_retries_per_read:.3f}")
@@ -107,6 +121,7 @@ def sweep_table(
     any_reliability = any(s.reliability is not None for s in specs)
     any_reread = any(s.reread_age_s > 0 for s in specs)
     any_timed = any(s.mode == "timed" for s in specs)
+    any_mapping = any(s.ftl == "dftl" for s in specs)
     headers = [axis.label for axis in axes]
     if not axes:
         headers = ["scenario"]
@@ -119,6 +134,10 @@ def sweep_table(
         # The queueing view: response-time percentiles per request
         # class, plus the replay's throughput.
         headers += ["rd p50", "rd p95", "rd p99", "wr p50", "wr p95", "wr p99", "kIOPS"]
+    if any_mapping:
+        # The demand-paged mapping view: CMT hit ratio, and translation
+        # flash traffic normalized per host page operation.
+        headers += ["map hit", "trd/rd", "twr/wr"]
     if any_reliability:
         headers += ["retries/rd", "uncorr"]
     rows: list[list[object]] = []
@@ -153,6 +172,18 @@ def sweep_table(
                 row.append(f"{result.throughput_kiops:.2f}")
             else:
                 row += ["-"] * 7
+        if any_mapping:
+            if spec.ftl == "dftl":
+                extra = ftl.stats.extra
+                reads = ftl.stats.host_read_pages
+                writes = ftl.stats.host_write_pages
+                row += [
+                    f"{_mapping_hit_ratio(extra):.3f}",
+                    f"{extra.get('trans.reads', 0.0) / reads:.2f}" if reads else "-",
+                    f"{extra.get('trans.writes', 0.0) / writes:.2f}" if writes else "-",
+                ]
+            else:
+                row += ["-", "-", "-"]
         if any_reliability:
             if spec.reliability is not None:
                 rel = ftl.reliability.stats

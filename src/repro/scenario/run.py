@@ -80,7 +80,7 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
     device = NandDevice(spec.device)
     manager = ReliabilityManager(device, spec.reliability) if spec.reliability else None
     policy = RefreshPolicy(manager) if (manager is not None and spec.refresh) else None
-    ftl = make_ftl(spec.ftl, device, spec.ppb, manager, policy)
+    ftl = make_ftl(spec.ftl, device, spec.ppb, manager, policy, spec.mapping)
     ssd = SSD(ftl, spec.device.page_size)
     fitted = trace.fit_to(ssd.capacity_bytes)
     if spec.effective_warm_fill > 0:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
+from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import NandSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.spec import ScenarioSpec
@@ -45,6 +46,7 @@ _SECTIONS = {
     "device": NandSpec,
     "ppb": PPBConfig,
     "reliability": ReliabilityConfig,
+    "mapping": MappingConfig,
 }
 
 

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
+from repro.ftl.mapping import FULL_MAP_MAX_ENTRIES
+from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import NandSpec, sim_spec
 from repro.reliability.manager import ReliabilityConfig
 from repro.traces.workloads import WORKLOADS
@@ -71,10 +73,13 @@ class ScenarioSpec:
     device: NandSpec = field(default_factory=sim_spec)
 
     # -- FTL / placement ------------------------------------------------
-    #: "conventional", "fast" or "ppb" (see :data:`repro.sim.replay.FTL_FACTORIES`).
+    #: "conventional", "fast", "ppb" or "dftl"
+    #: (see :data:`repro.sim.replay.FTL_FACTORIES`).
     ftl: str = "conventional"
     #: PPB strategy knobs; only consulted by the "ppb" FTL.
     ppb: PPBConfig | None = None
+    #: demand-paged mapping knobs; only consulted by the "dftl" FTL.
+    mapping: MappingConfig | None = None
 
     # -- reliability stack ----------------------------------------------
     #: attach the reliability stack (None = latency-only simulator).
@@ -138,6 +143,14 @@ class ScenarioSpec:
         if self.mode not in VALID_MODES:
             raise ConfigError(
                 f"mode must be one of {VALID_MODES}, got {self.mode!r}"
+            )
+        if self.ftl != "dftl" and self.device.full_map_entries > FULL_MAP_MAX_ENTRIES:
+            raise ConfigError(
+                f"the {self.ftl!r} FTL keeps the full page map in RAM, and this "
+                f"geometry needs {self.device.full_map_entries} map entries "
+                f"(limit {FULL_MAP_MAX_ENTRIES}); "
+                f'set ftl = "dftl" and bound its cache with the mapping knobs '
+                f"(mapping.cache_entries or mapping.cache_ratio)"
             )
         if self.warm_fill_fraction is not None and not 0.0 <= self.warm_fill_fraction <= 1.0:
             raise ConfigError(

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
+from repro.ftl.transmap import MappingConfig
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.spec import ScenarioSpec
 
@@ -39,6 +40,7 @@ from repro.scenario.spec import ScenarioSpec
 _AUTO_SECTIONS = {
     "ppb": PPBConfig,
     "reliability": ReliabilityConfig,
+    "mapping": MappingConfig,
 }
 
 

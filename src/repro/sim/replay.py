@@ -16,8 +16,10 @@ from repro.core.config import PPBConfig
 from repro.core.ppb_ftl import PPBFTL
 from repro.errors import ConfigError
 from repro.ftl.conventional import ConventionalFTL
+from repro.ftl.dftl import DFTL
 from repro.ftl.fast import FastFTL
 from repro.ftl.reliability_hooks import ReliabilityHost
+from repro.ftl.transmap import MappingConfig
 from repro.nand.device import NandDevice
 from repro.nand.spec import NandSpec
 from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
@@ -25,16 +27,20 @@ from repro.reliability.refresh import RefreshPolicy
 from repro.sim.ssd import RunResult
 from repro.traces.record import Trace
 
-def _make_conventional(device, ppb_config, reliability, refresh):
+def _make_conventional(device, ppb_config, reliability, refresh, mapping):
     return ConventionalFTL(device, reliability=reliability, refresh=refresh)
 
 
-def _make_fast(device, ppb_config, reliability, refresh):
+def _make_fast(device, ppb_config, reliability, refresh, mapping):
     return FastFTL(device, reliability=reliability, refresh=refresh)
 
 
-def _make_ppb(device, ppb_config, reliability, refresh):
+def _make_ppb(device, ppb_config, reliability, refresh, mapping):
     return PPBFTL(device, config=ppb_config, reliability=reliability, refresh=refresh)
+
+
+def _make_dftl(device, ppb_config, reliability, refresh, mapping):
+    return DFTL(device, mapping=mapping, reliability=reliability, refresh=refresh)
 
 
 #: Registered FTL classes by kind (used to *derive* capability sets).
@@ -42,13 +48,16 @@ FTL_CLASSES: dict[str, type] = {
     "conventional": ConventionalFTL,
     "fast": FastFTL,
     "ppb": PPBFTL,
+    "dftl": DFTL,
 }
 
-#: Registered FTL factories; each takes (device, ppb_config, reliability, refresh).
+#: Registered FTL factories; each takes
+#: (device, ppb_config, reliability, refresh, mapping).
 FTL_FACTORIES: dict[str, Callable[..., object]] = {
     "conventional": _make_conventional,
     "fast": _make_fast,
     "ppb": _make_ppb,
+    "dftl": _make_dftl,
 }
 
 #: FTLs that accept the reliability stack — derived from the hook
@@ -67,8 +76,9 @@ def make_ftl(
     ppb_config: PPBConfig | None = None,
     reliability: ReliabilityManager | None = None,
     refresh: RefreshPolicy | None = None,
+    mapping: MappingConfig | None = None,
 ):
-    """Instantiate an FTL by name ("conventional", "fast", "ppb")."""
+    """Instantiate an FTL by name ("conventional", "fast", "ppb", "dftl")."""
     try:
         factory = FTL_FACTORIES[kind]
     except KeyError:
@@ -80,7 +90,7 @@ def make_ftl(
             f"FTL {kind!r} does not support the reliability stack; "
             f"choose from {RELIABILITY_FTLS}"
         )
-    return factory(device, ppb_config, reliability, refresh)
+    return factory(device, ppb_config, reliability, refresh, mapping)
 
 
 def replay_trace(
@@ -96,6 +106,7 @@ def replay_trace(
     reread_age_s: float = 0.0,
     queue_depth: int = 0,
     arrival_scale: float = 1.0,
+    mapping: MappingConfig | None = None,
 ) -> RunResult:
     """Replay a prebuilt trace on a fresh device (compatibility shim).
 
@@ -120,5 +131,6 @@ def replay_trace(
         reread_age_s=reread_age_s,
         queue_depth=queue_depth,
         arrival_scale=arrival_scale,
+        mapping=mapping,
     )
     return execute_scenario(scenario, trace)

@@ -1,0 +1,213 @@
+"""Units for the demand-paged mapping pieces: CMT, GTD, lazy map, guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, FtlError, MappingError
+from repro.ftl.mapping import FULL_MAP_MAX_ENTRIES, UNMAPPED, PageMapTable
+from repro.ftl.transmap import (
+    CachedMappingTable,
+    GlobalTranslationDirectory,
+    LazyPageMapTable,
+    MappingConfig,
+)
+
+
+class TestMappingConfig:
+    def test_defaults_cover_the_full_map(self):
+        cfg = MappingConfig()
+        assert cfg.resolve_cache_entries(1000) == 1000
+        assert cfg.resolve_entries_per_page(16 * 1024) == 2048
+
+    def test_explicit_knobs_win_over_derivation(self):
+        cfg = MappingConfig(cache_entries=64, entries_per_page=16)
+        assert cfg.resolve_cache_entries(1_000_000) == 64
+        assert cfg.resolve_entries_per_page(16 * 1024) == 16
+
+    def test_ratio_derives_entries(self):
+        cfg = MappingConfig(cache_ratio=0.25)
+        assert cfg.resolve_cache_entries(1000) == 250
+        # never rounds down to an unusable zero-entry cache
+        assert MappingConfig(cache_ratio=0.001).resolve_cache_entries(10) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cache_entries=-1),
+            dict(cache_ratio=0.0),
+            dict(cache_ratio=1.5),
+            dict(entries_per_page=-4),
+            dict(entry_bytes=0),
+            dict(evict_batch=0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MappingConfig(**kwargs)
+
+
+class TestCachedMappingTable:
+    def test_hit_miss_counters_and_lru(self):
+        cmt = CachedMappingTable(capacity=2, entries_per_page=4)
+        assert cmt.lookup(1) is None
+        cmt.put(1, 100, dirty=False)
+        cmt.put(2, 200, dirty=False)
+        assert cmt.lookup(1) == 100  # refreshes 1; 2 is now LRU
+        assert (cmt.hits, cmt.misses) == (1, 1)
+        lpn, ppn, dirty = cmt.evict_lru()
+        assert (lpn, ppn, dirty) == (2, 200, False)
+
+    def test_cached_unmapped_is_a_hit_not_a_miss(self):
+        cmt = CachedMappingTable(capacity=2, entries_per_page=4)
+        cmt.put(5, UNMAPPED, dirty=False)
+        assert cmt.lookup(5) == UNMAPPED  # distinct from the None miss
+        assert cmt.hits == 1 and cmt.misses == 0
+
+    def test_insert_into_full_cache_is_a_caller_bug(self):
+        cmt = CachedMappingTable(capacity=1, entries_per_page=4)
+        cmt.put(1, 100, dirty=False)
+        with pytest.raises(FtlError, match="full"):
+            cmt.put(2, 200, dirty=False)
+        # updating a resident entry is always allowed
+        cmt.put(1, 101, dirty=True)
+        assert cmt.peek(1) == 101
+
+    def test_evict_empty_rejected(self):
+        cmt = CachedMappingTable(capacity=1, entries_per_page=4)
+        with pytest.raises(FtlError, match="empty"):
+            cmt.evict_lru()
+
+    def test_dirty_groups_batch_by_translation_page(self):
+        cmt = CachedMappingTable(capacity=8, entries_per_page=4)
+        for lpn in (0, 1, 5, 2):
+            cmt.put(lpn, 100 + lpn, dirty=True)
+        cmt.put(3, 103, dirty=False)
+        assert cmt.dirty_tvpns() == [0, 1]
+        assert cmt.dirty_entries_of(0) == [(0, 100), (1, 101), (2, 102)]
+        assert cmt.dirty_entries_of(1) == [(5, 105)]
+        cmt.mark_clean(1)
+        assert cmt.dirty_entries_of(0) == [(0, 100), (2, 102)]
+        assert cmt.dirty_count == 3
+        cmt.check_consistency()
+
+    def test_evicting_dirty_entry_hands_it_to_the_caller(self):
+        cmt = CachedMappingTable(capacity=2, entries_per_page=4)
+        cmt.put(1, 100, dirty=True)
+        cmt.put(2, 200, dirty=False)
+        lpn, ppn, dirty = cmt.evict_lru()
+        assert (lpn, ppn, dirty) == (1, 100, True)
+        # the cache has forgotten it entirely
+        assert 1 not in cmt and cmt.dirty_count == 0
+        cmt.check_consistency()
+
+    def test_counter_arithmetic(self):
+        cmt = CachedMappingTable(capacity=4, entries_per_page=4)
+        for lpn in range(4):
+            cmt.put(lpn, lpn, dirty=False)
+        cmt.evict_lru()
+        assert cmt.insertions - cmt.evictions == len(cmt) == 3
+        cmt.check_consistency()
+
+    @pytest.mark.parametrize("kwargs", [dict(capacity=0), dict(entries_per_page=0)])
+    def test_bad_construction(self, kwargs):
+        defaults = dict(capacity=4, entries_per_page=4)
+        defaults.update(kwargs)
+        with pytest.raises(FtlError):
+            CachedMappingTable(**defaults)
+
+
+class TestGlobalTranslationDirectory:
+    def test_update_and_reverse(self):
+        gtd = GlobalTranslationDirectory(num_lpns=16, entries_per_page=4)
+        assert gtd.num_translation_pages == 4
+        assert gtd.ppn_of(2) == UNMAPPED
+        assert gtd.update(2, 50) == UNMAPPED
+        assert gtd.ppn_of(2) == 50
+        assert gtd.tvpn_at(50) == 2
+        assert gtd.update(2, 60) == 50  # relocation returns the old copy
+        assert gtd.tvpn_at(50) == UNMAPPED
+        assert len(gtd) == 1 and gtd.updates == 2
+        gtd.check_consistency()
+
+    def test_ppn_collision_rejected(self):
+        gtd = GlobalTranslationDirectory(num_lpns=16, entries_per_page=4)
+        gtd.update(0, 7)
+        with pytest.raises(MappingError, match="already holds"):
+            gtd.update(1, 7)
+
+    def test_tvpn_range_checked(self):
+        gtd = GlobalTranslationDirectory(num_lpns=16, entries_per_page=4)
+        with pytest.raises(MappingError, match="out of range"):
+            gtd.ppn_of(4)
+        with pytest.raises(MappingError, match="out of range"):
+            gtd.update(-1, 0)
+
+    def test_partial_last_page(self):
+        gtd = GlobalTranslationDirectory(num_lpns=10, entries_per_page=4)
+        assert gtd.num_translation_pages == 3  # ceil(10 / 4)
+        assert gtd.tvpn_of_lpn(9) == 2
+
+
+class TestLazyPageMapTable:
+    def test_huge_geometry_constructs_without_allocation(self):
+        # A dense table at this size would be gigabytes; lazy is O(1).
+        table = LazyPageMapTable(1 << 32, 1 << 32)
+        assert table.mapped_count == 0
+        assert table.ppn_of(1 << 31) == UNMAPPED
+        table.remap(1 << 31, 42)
+        assert table.ppn_of(1 << 31) == 42
+        assert table.lpn_of(42) == 1 << 31
+        table.check_consistency()
+
+    def test_matches_dense_table_under_random_ops(self, rng):
+        dense = PageMapTable(64, 128)
+        lazy = LazyPageMapTable(64, 128)
+        used_ppns: set[int] = set()
+        for _ in range(300):
+            lpn = int(rng.integers(0, 64))
+            if rng.random() < 0.25:
+                assert dense.unmap(lpn) == lazy.unmap(lpn)
+            else:
+                free = [p for p in range(128) if not dense.is_valid_ppn(p)]
+                ppn = int(rng.choice(free))
+                used_ppns.add(ppn)
+                assert dense.remap(lpn, ppn) == lazy.remap(lpn, ppn)
+        assert dense.mapped_count == lazy.mapped_count
+        for lpn in range(64):
+            assert dense.ppn_of(lpn) == lazy.ppn_of(lpn)
+        for ppn in range(128):
+            assert dense.lpn_of(ppn) == lazy.lpn_of(ppn)
+        for start in range(0, 128, 16):
+            span = range(start, start + 16)
+            assert dense.valid_ppns_in(span) == sorted(lazy.valid_ppns_in(span))
+        lazy.check_consistency()
+
+    def test_sparse_arrays_never_store_unmapped(self):
+        lazy = LazyPageMapTable(8, 16)
+        lazy.remap(3, 5)
+        lazy.unmap(3)
+        # the backing dicts shrink back to empty — no tombstones
+        assert len(lazy.l2p) == 0 and len(lazy.p2l) == 0
+
+    def test_errors_match_dense_semantics(self):
+        lazy = LazyPageMapTable(8, 16)
+        with pytest.raises(MappingError):
+            lazy.ppn_of(8)
+        with pytest.raises(MappingError):
+            lazy.remap(0, 16)
+        lazy.remap(0, 3)
+        with pytest.raises(MappingError, match="already holds"):
+            lazy.remap(1, 3)
+        with pytest.raises(MappingError):
+            lazy.clear_ppn(3)
+
+
+class TestFullMapGuard:
+    def test_dense_table_rejects_pathological_allocation(self):
+        with pytest.raises(ConfigError, match="dftl"):
+            PageMapTable(FULL_MAP_MAX_ENTRIES, 1)
+
+    def test_guard_names_the_mapping_knobs(self):
+        with pytest.raises(ConfigError, match="mapping.cache_entries"):
+            PageMapTable(FULL_MAP_MAX_ENTRIES // 2 + 1, FULL_MAP_MAX_ENTRIES // 2 + 1)

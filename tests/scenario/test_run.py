@@ -148,7 +148,7 @@ class TestRelFtlsDerivation:
                 pass
 
         monkeypatch.setitem(
-            replay_mod.FTL_FACTORIES, "bare", lambda d, p, rel, ref: BareFtl(d)
+            replay_mod.FTL_FACTORIES, "bare", lambda d, p, rel, ref, mapping: BareFtl(d)
         )
         device = NandDevice(tiny_spec())
         assert isinstance(replay_mod.make_ftl("bare", device), BareFtl)

@@ -48,11 +48,17 @@ class TestPerfHarness:
             "figure/fast",
             "figure/ppb",
             "reliability/refresh",
+            "dftl/mapping-cache",
             "timed/queueing",
         ]
-        reliability = cases[-2].spec
+        reliability = cases[3].spec
         assert reliability.reliability is not None
         assert reliability.refresh
+        # The demand-paged mapper, cache-constrained so misses are live.
+        dftl = cases[4].spec
+        assert dftl.ftl == "dftl"
+        assert dftl.mapping is not None
+        assert dftl.mapping.resolve_cache_entries(1000) < 1000
         # The DES kernel case: channel-parallel timed mode at saturation.
         queueing = cases[-1].spec
         assert queueing.mode == "timed"
