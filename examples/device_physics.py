@@ -14,7 +14,8 @@ from repro.analysis.tables import ascii_table
 from repro.nand.latency import LatencyModel
 from repro.nand.physics import TaperedChannelModel
 from repro.nand.spec import sim_spec
-from repro.sim.replay import replay_trace
+from repro.scenario.run import execute_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.traces.workloads import WebSqlWorkload
 
 
@@ -63,7 +64,8 @@ def show_fast_baseline() -> None:
     print()
     print("extra baseline: FAST hybrid log-buffer FTL (Lee et al., TECS'07)")
     for kind in ("conventional", "fast", "ppb"):
-        result = replay_trace(trace, spec, ftl_kind=kind)
+        scenario = ScenarioSpec(device=spec, ftl=kind, warm_fill_fraction=0.9)
+        result = execute_scenario(scenario, trace)
         print("  " + result.summary())
 
 

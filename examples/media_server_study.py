@@ -11,7 +11,8 @@ Run:  python examples/media_server_study.py
 
 from repro.analysis.tables import ascii_table, format_pct
 from repro.nand.spec import sim_spec
-from repro.sim.replay import replay_trace
+from repro.scenario.run import execute_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.traces.stats import characterize
 from repro.traces.workloads import MediaServerWorkload
 
@@ -33,7 +34,8 @@ def main() -> None:
     results = {}
     for kind in ("conventional", "ppb"):
         print(f"replaying under {kind} ...")
-        results[kind] = replay_trace(trace, spec, ftl_kind=kind)
+        scenario = ScenarioSpec(device=spec, ftl=kind, warm_fill_fraction=0.9)
+        results[kind] = execute_scenario(scenario, trace)
 
     base, ppb = results["conventional"], results["ppb"]
     gain = (base.read_us - ppb.read_us) / base.read_us

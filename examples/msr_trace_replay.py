@@ -18,7 +18,8 @@ import tempfile
 from pathlib import Path
 
 from repro.nand.spec import sim_spec
-from repro.sim.replay import replay_trace
+from repro.scenario.run import execute_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.traces.msr import read_msr_csv, write_msr_csv
 from repro.traces.stats import characterize
 from repro.traces.workloads import WebSqlWorkload
@@ -47,7 +48,8 @@ def main() -> None:
     print(characterize(trace, page_size=spec.page_size).describe())
     print()
     for kind in ("conventional", "ppb"):
-        result = replay_trace(trace, spec, ftl_kind=kind)
+        scenario = ScenarioSpec(device=spec, ftl=kind, warm_fill_fraction=0.9)
+        result = execute_scenario(scenario, trace)
         print(result.summary())
 
 

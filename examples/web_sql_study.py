@@ -11,7 +11,8 @@ Run:  python examples/web_sql_study.py
 from repro.analysis.charts import ascii_series
 from repro.analysis.tables import ascii_table, format_pct
 from repro.nand.spec import sim_spec
-from repro.sim.replay import replay_trace
+from repro.scenario.run import execute_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.traces.workloads import WebSqlWorkload
 
 REQUESTS = 60_000
@@ -30,8 +31,12 @@ def main() -> None:
     conv_series, ppb_series = [], []
     for ratio in SWEEP:
         spec = sim_spec(speed_ratio=ratio)
-        conv = replay_trace(trace, spec, "conventional")
-        ppb = replay_trace(trace, spec, "ppb")
+        conv = execute_scenario(
+            ScenarioSpec(device=spec, ftl="conventional", warm_fill_fraction=0.9), trace
+        )
+        ppb = execute_scenario(
+            ScenarioSpec(device=spec, ftl="ppb", warm_fill_fraction=0.9), trace
+        )
         gain = (conv.read_us - ppb.read_us) / conv.read_us
         conv_series.append(conv.read_seconds)
         ppb_series.append(ppb.read_seconds)

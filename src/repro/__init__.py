@@ -36,8 +36,10 @@ from repro.ftl.fast import FastFTL
 from repro.nand.device import NandDevice
 from repro.nand.spec import NandSpec, sim_spec, table1_spec, tiny_spec
 from repro.scenario import (
+    PreconditionPhase,
     ScenarioSpec,
     SweepAxis,
+    TenantSpec,
     load_scenario_file,
     run_scenario,
     run_scenarios,
@@ -48,6 +50,7 @@ from repro.sim.ssd import SSD, RunResult
 from repro.traces.record import IORequest, OpType, Trace
 from repro.traces.workloads import (
     MediaServerWorkload,
+    PatternSuiteWorkload,
     UniformWorkload,
     WebSqlWorkload,
 )
@@ -68,6 +71,8 @@ __all__ = [
     "RunResult",
     "replay_trace",
     "ScenarioSpec",
+    "TenantSpec",
+    "PreconditionPhase",
     "SweepAxis",
     "load_scenario_file",
     "run_scenario",
@@ -79,6 +84,7 @@ __all__ = [
     "MediaServerWorkload",
     "WebSqlWorkload",
     "UniformWorkload",
+    "PatternSuiteWorkload",
     "quick_comparison",
     "__version__",
 ]

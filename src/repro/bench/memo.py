@@ -56,12 +56,14 @@ from repro.traces.workloads import WORKLOADS
 
 @dataclass(frozen=True)
 class ReplaySpec:
-    """One fully-specified, hashable trace replay (compatibility shim).
+    """One fully-specified, hashable trace replay (**deprecated** shim).
 
     Predates :class:`~repro.scenario.spec.ScenarioSpec`, which is now
     the canonical experiment description and cache key;
     :meth:`to_scenario` performs the lossless conversion and every
     :class:`ReplayRunner` entry point accepts either type.
+    Constructing one emits a :class:`DeprecationWarning` that spells
+    out the equivalent ``ScenarioSpec``.
     """
 
     workload: str = "web-sql"
@@ -84,10 +86,20 @@ class ReplaySpec:
     reread_age_s: float = 0.0
 
     def __post_init__(self) -> None:
+        import warnings
+
+        from repro.scenario.spec import spec_snippet
+
         if self.workload not in WORKLOADS:
             raise ConfigError(
                 f"unknown workload {self.workload!r}; choose from {sorted(WORKLOADS)}"
             )
+        warnings.warn(
+            "ReplaySpec is deprecated; build the equivalent ScenarioSpec "
+            f"instead:\n    {spec_snippet(self.to_scenario())}",
+            DeprecationWarning,
+            stacklevel=3,  # through the generated dataclass __init__
+        )
 
     def device_spec(self) -> NandSpec:
         """The device this replay runs on."""

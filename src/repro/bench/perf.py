@@ -144,10 +144,10 @@ def perf_scale(smoke: bool | None = None) -> PerfScale:
 
 def perf_cases(scale: PerfScale) -> list[PerfCase]:
     """The timed replay matrix: every FTL, plus the reliability stack."""
-    base = ReplaySpec(
+    base = ScenarioSpec(
         workload="web-sql",
         num_requests=scale.num_requests,
-        blocks_per_chip=scale.blocks_per_chip,
+        device=sim_spec(blocks_per_chip=scale.blocks_per_chip),
     )
     cases = [
         PerfCase(f"figure/{ftl}", base.with_(ftl=ftl))

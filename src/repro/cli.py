@@ -44,9 +44,10 @@ see :mod:`repro.bench.memo`).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
-from repro.bench.experiment import FULL_SCALE, SMOKE_SCALE, Cell, ExperimentRunner
+from repro.bench.experiment import FULL_SCALE, SMOKE_SCALE, ExperimentRunner
 from repro.bench.figures import FIGURES
 from repro.bench.memo import ReplayRunner
 from repro.bench.perf import (
@@ -78,8 +79,15 @@ from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.report import summarize_result, sweep_table, timed_summary_lines
 from repro.scenario.serialize import ScenarioFile, load_scenario_file
 from repro.scenario.spec import ScenarioSpec
-from repro.scenario.sweep import SweepAxis, get_path, parse_set_arg, set_paths, sweep
-from repro.sim.replay import replay_trace
+from repro.scenario.sweep import (
+    SweepAxis,
+    get_path,
+    list_paths,
+    parse_set_arg,
+    set_paths,
+    sweep,
+)
+from repro.scenario.run import build_trace, execute_scenario
 from repro.traces.msr import read_msr_csv
 from repro.traces.stats import characterize
 from repro.traces.workloads import WORKLOADS as _WORKLOADS
@@ -258,6 +266,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for sweep grids (1 = in-process)",
+    )
+    scen_paths = scen_sub.add_parser(
+        "paths",
+        help="list every sweepable dotted path with its type and default",
+    )
+    scen_paths.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="scenario file whose paths (tenants, kwargs) to enumerate "
+        "(defaults to the stock ScenarioSpec)",
     )
 
     gen_sweep = sub.add_parser(
@@ -442,6 +461,22 @@ def _apply_smoke(
         base = base.with_(num_requests=SMOKE_MAX_REQUESTS)
     if base.device.blocks_per_chip > SMOKE_MAX_BLOCKS:
         base = base.with_(device=base.device.replace(blocks_per_chip=SMOKE_MAX_BLOCKS))
+    if base.tenants:
+        # tenants carry their own budgets: split the smoke cap evenly.
+        per_tenant = max(1, SMOKE_MAX_REQUESTS // len(base.tenants))
+        base = base.with_(
+            tenants=tuple(
+                dataclasses.replace(t, num_requests=min(t.num_requests, per_tenant))
+                for t in base.tenants
+            )
+        )
+    if base.precondition:
+        base = base.with_(
+            precondition=tuple(
+                dataclasses.replace(p, num_requests=min(p.num_requests, SMOKE_MAX_REQUESTS))
+                for p in base.precondition
+            )
+        )
     clamped: list[SweepAxis] = []
     for axis in axes:
         cap = _SMOKE_CAPS.get(axis.path)
@@ -485,6 +520,8 @@ def _run_scenario_bundle(
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
     try:
+        if args.scenario_command == "paths":
+            return _cmd_scenario_paths(args)
         bundle: ScenarioFile = load_scenario_file(args.file)
         base, axes = _apply_sets(bundle.base, list(bundle.axes), args.sets)
         if args.smoke:
@@ -494,6 +531,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"repro-flash scenario: error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_scenario_paths(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import ascii_table
+
+    base = load_scenario_file(args.spec).base if args.spec else None
+    rows = list_paths(base)
+    print(ascii_table(["path", "type", "default"], rows))
+    print(
+        f"{len(rows)} sweepable paths; use them with --set PATH=VALUE "
+        "or in a [[sweep]] block"
+    )
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -548,26 +598,25 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
-        spec = sim_spec(
-            speed_ratio=args.speed_ratio,
-            page_size=args.page_size,
-            num_chips=args.chips,
-            num_channels=args.channels,
-        )
-        generator = _WORKLOADS[args.workload](
+        scenario = ScenarioSpec(
+            workload=args.workload,
             num_requests=args.requests,
-            footprint_bytes=int(spec.logical_bytes * Cell.footprint_fraction),
             seed=args.seed,
-        )
-        trace = generator.generate()
-        result = replay_trace(
-            trace,
-            spec,
-            ftl_kind=args.ftl,
+            device=sim_spec(
+                speed_ratio=args.speed_ratio,
+                page_size=args.page_size,
+                num_chips=args.chips,
+                num_channels=args.channels,
+            ),
+            ftl=args.ftl,
+            # replay_trace's historical default, kept so the command's
+            # output is unchanged by the migration off the shim.
+            warm_fill_fraction=0.9,
             mode=args.mode,
             queue_depth=args.queue_depth,
             arrival_scale=args.arrival_scale,
         )
+        result = execute_scenario(scenario, build_trace(scenario))
     except ConfigError as exc:
         print(f"repro-flash run: error: {exc}", file=sys.stderr)
         return 2

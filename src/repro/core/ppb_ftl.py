@@ -303,6 +303,13 @@ class PPBFTL(BaseFTL):
             if self._freq.count_of(lpn) == self.config.migrate_reads:
                 self._migration_queue.append(lpn)
 
+    def _on_trim(self, lpn: int) -> None:
+        # Discarded data carries no temperature: drop the chunk from
+        # both trackers so a stale hot/cold class cannot steer the
+        # placement of whatever the host writes there next.
+        self._lru.drop(lpn)
+        self._freq.drop(lpn)
+
     def _on_erase(self, pbn: int) -> None:
         if self.vbmgr.is_carved(pbn):
             self._owner_of(pbn).forget_block(pbn)

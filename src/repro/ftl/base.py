@@ -16,7 +16,7 @@ Subclass contract
 ``_active_blocks()``
     The set of currently OPEN blocks, excluded from victim selection.
 Optional hooks: ``_on_host_read``, ``_on_host_write``, ``_on_gc_copy``,
-``_on_block_full``, ``_on_erase``.
+``_on_trim``, ``_on_block_full``, ``_on_erase``.
 """
 
 from __future__ import annotations
@@ -199,14 +199,22 @@ class BaseFTL(ReliabilityHost):
             self._maybe_refresh()
         return latency + gc_latency
 
-    def trim(self, lpn: int) -> None:
-        """Host discard: drop the mapping and invalidate the old copy."""
+    def trim(self, lpn: int) -> float:
+        """Host discard: drop the mapping and invalidate the old copy.
+
+        No page is programmed — the freed copy simply becomes invalid,
+        so GC reclaims it without relocation.  Returns the host-visible
+        latency: zero for RAM-resident maps (DFTL adds translation
+        traffic on top).
+        """
         self.map.check_lpn(lpn)
         self._op_sequence += 1
         old_ppn = self.map.unmap(lpn)
         if old_ppn != UNMAPPED:
             self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old_ppn))
             self.stats.trimmed_pages += 1
+            self._on_trim(lpn)
+        return 0.0
 
     # ------------------------------------------------------------------
     # Mapping / accounting plumbing
@@ -362,6 +370,9 @@ class BaseFTL(ReliabilityHost):
 
     def _on_gc_copy(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
         """Called after each GC relocation."""
+
+    def _on_trim(self, lpn: int) -> None:
+        """Called after a mapped page is discarded (trackers drop it)."""
 
     def _on_block_full(self, pbn: int) -> None:
         """Called when a block's last page is programmed."""

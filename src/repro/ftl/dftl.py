@@ -132,11 +132,14 @@ class DFTL(ConventionalFTL):
             return latency + trans_us
         return latency
 
-    def trim(self, lpn: int) -> None:
-        self._resolve_mapping(lpn)
+    def trim(self, lpn: int) -> float:
+        # The mapping must be resident to invalidate it, so a trim can
+        # miss the CMT and pay translation reads like any other op.
+        trans_us = self._resolve_mapping(lpn)
         super().trim(lpn)
         # Persisting the invalidation is a dirty entry like any update.
         self.cmt.put(lpn, UNMAPPED, dirty=True)
+        return trans_us
 
     # ------------------------------------------------------------------
     # The translation stack

@@ -155,14 +155,20 @@ class FastFTL(ReliabilityHost):
             self._maybe_refresh()
         return latency + merge_latency
 
-    def trim(self, lpn: int) -> None:
-        """Host discard."""
+    def trim(self, lpn: int) -> float:
+        """Host discard: unmap without a program; the copy dies in place.
+
+        Works for data-block *and* log-block copies alike — the mapping
+        table resolves to wherever the newest copy lives, and a later
+        merge simply finds one fewer live page to relocate.
+        """
         self.map.check_lpn(lpn)
         self._op_sequence += 1
         old = self.map.unmap(lpn)
         if old != UNMAPPED:
             self.blocks.note_invalidate(self.geometry.pbn_of_ppn(old))
             self.stats.trimmed_pages += 1
+        return 0.0
 
     # ------------------------------------------------------------------
     # Sequential log handling

@@ -35,11 +35,17 @@ from repro.scenario.serialize import (
     spec_to_json,
     spec_to_toml,
 )
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import (
+    PreconditionPhase,
+    ScenarioSpec,
+    TenantSpec,
+    spec_snippet,
+)
 from repro.scenario.sweep import (
     SweepAxis,
     axis_values,
     get_path,
+    list_paths,
     parse_scalar,
     parse_set_arg,
     set_path,
@@ -49,12 +55,15 @@ from repro.scenario.sweep import (
 
 __all__ = [
     "ScenarioSpec",
+    "TenantSpec",
+    "PreconditionPhase",
     "ScenarioFile",
     "SweepAxis",
     "axis_values",
     "build_trace",
     "execute_scenario",
     "get_path",
+    "list_paths",
     "load_scenario_file",
     "parse_scalar",
     "parse_scenario_file",
@@ -67,6 +76,7 @@ __all__ = [
     "spec_from_dict",
     "spec_from_json",
     "spec_from_toml",
+    "spec_snippet",
     "spec_to_dict",
     "spec_to_json",
     "spec_to_toml",

@@ -67,6 +67,16 @@ def summarize_result(spec: ScenarioSpec, result: RunResult) -> str:
             f"aged re-read      {result.mean_read_page_us:.2f} us/page "
             f"(+{result.extra['reread.retries_per_read']:.2f} retries/read)"
         )
+    if result.trim_requests:
+        lines.append(
+            f"trims             {result.trim_requests} requests, "
+            f"{ftl.stats.trimmed_pages} pages invalidated"
+        )
+    for name, count in result.tenant_requests.items():
+        service_s = result.tenant_service_us.get(name, 0.0) / 1e6
+        lines.append(
+            f"tenant {name:<11}{count} requests, {service_s:.3f} s service"
+        )
     lines += timed_summary_lines(result)
     return "\n".join(lines)
 
@@ -99,6 +109,13 @@ def timed_summary_lines(result: RunResult) -> list[str]:
             f"throughput        {result.throughput_kiops:.2f} kIOPS "
             f"({result.simulated_us / 1e6:.3f} s simulated)"
         )
+    for name, values in result.tenant_response_percentiles().items():
+        lines.append(
+            f"{'tenant ' + name:<18}"
+            f"p50 {values['p50_us']:.0f} us, "
+            f"p95 {values['p95_us']:.0f} us, "
+            f"p99 {values['p99_us']:.0f} us"
+        )
     util = result.extra.get("timed.chip_util_mean")
     if util is not None:
         lines.append(
@@ -122,6 +139,13 @@ def sweep_table(
     any_reread = any(s.reread_age_s > 0 for s in specs)
     any_timed = any(s.mode == "timed" for s in specs)
     any_mapping = any(s.ftl == "dftl" for s in specs)
+    any_trim = any(r.trim_requests for r in results)
+    tenant_names: list[str] = []
+    if any_timed:
+        for spec in specs:  # union of tenant names, first-appearance order
+            for tenant in spec.tenants:
+                if tenant.name not in tenant_names:
+                    tenant_names.append(tenant.name)
     headers = [axis.label for axis in axes]
     if not axes:
         headers = ["scenario"]
@@ -130,10 +154,15 @@ def sweep_table(
     else:
         headers += ["read (us/pg)"]
     headers += ["write (us/pg)", "erases", "WAF"]
+    if any_trim:
+        headers += ["trims"]
     if any_timed:
         # The queueing view: response-time percentiles per request
         # class, plus the replay's throughput.
         headers += ["rd p50", "rd p95", "rd p99", "wr p50", "wr p95", "wr p99", "kIOPS"]
+    for name in tenant_names:
+        # The isolation view: each tenant's own response-time tail.
+        headers += [f"{name} p50", f"{name} p99"]
     if any_mapping:
         # The demand-paged mapping view: CMT hit ratio, and translation
         # flash traffic normalized per host page operation.
@@ -162,6 +191,8 @@ def sweep_table(
             ftl.stats.erase_count,
             f"{ftl.stats.write_amplification:.2f}",
         ]
+        if any_trim:
+            row.append(result.trim_requests if result.trim_requests else "-")
         if any_timed:
             if spec.mode == "timed":
                 per_class = result.class_response_percentiles()
@@ -172,6 +203,12 @@ def sweep_table(
                 row.append(f"{result.throughput_kiops:.2f}")
             else:
                 row += ["-"] * 7
+        if tenant_names:
+            per_tenant = result.tenant_response_percentiles()
+            for name in tenant_names:
+                values = per_tenant.get(name)
+                row.append(f"{values['p50_us']:.0f}" if values else "-")
+                row.append(f"{values['p99_us']:.0f}" if values else "-")
         if any_mapping:
             if spec.ftl == "dftl":
                 extra = ftl.stats.extra

@@ -11,13 +11,35 @@ construction and result memoization keyed on the
 
 from __future__ import annotations
 
+import heapq
+
 from repro.nand.device import NandDevice
 from repro.reliability.manager import ReliabilityManager
 from repro.reliability.refresh import RefreshPolicy
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.ssd import SSD, RunResult
-from repro.traces.record import Trace
+from repro.traces.record import IORequest, Trace
 from repro.traces.workloads import WORKLOADS
+
+
+def _make_generator(workload: str, num_requests: int, footprint_bytes: int,
+                    seed: int, kwargs: tuple, owner: str):
+    """Instantiate a registered workload, naming bad kwargs like a path."""
+    try:
+        return WORKLOADS[workload](
+            num_requests=num_requests,
+            footprint_bytes=footprint_bytes,
+            seed=seed,
+            **dict(kwargs),
+        )
+    except TypeError as exc:
+        # A misspelled workload_kwargs key is a config mistake, not a
+        # programming error: name it like every other bad dotted path.
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"{owner} not accepted by workload {workload!r}: {exc}"
+        ) from None
 
 
 def build_trace(spec: ScenarioSpec) -> Trace:
@@ -27,27 +49,55 @@ def build_trace(spec: ScenarioSpec) -> Trace:
     only on the workload, its size/seed/kwargs and the footprint — not
     on the FTL, device timing or reliability knobs — so every variant at
     one sweep point replays the byte-identical request stream.
+
+    With ``spec.tenants`` set, each tenant's generator runs over its own
+    LBA partition (sized by share, see
+    :meth:`ScenarioSpec.tenant_partitions`) and the per-tenant streams
+    merge by timestamp into one interleaved trace.
     """
     if spec.trace_path is not None:
         from repro.traces.msr import read_msr_csv
 
         return read_msr_csv(spec.trace_path)
-    try:
-        generator = WORKLOADS[spec.workload](
-            num_requests=spec.num_requests,
-            footprint_bytes=spec.footprint_bytes,
-            seed=spec.seed,
-            **dict(spec.workload_kwargs),
-        )
-    except TypeError as exc:
-        # A misspelled workload_kwargs key is a config mistake, not a
-        # programming error: name it like every other bad dotted path.
-        from repro.errors import ConfigError
-
-        raise ConfigError(
-            f"workload_kwargs not accepted by workload {spec.workload!r}: {exc}"
-        ) from None
+    if spec.tenants:
+        return _build_tenant_trace(spec)
+    generator = _make_generator(
+        spec.workload, spec.num_requests, spec.footprint_bytes,
+        spec.seed, spec.workload_kwargs, "workload_kwargs",
+    )
     return generator.generate()
+
+
+def _build_tenant_trace(spec: ScenarioSpec) -> Trace:
+    """Timestamp-merge per-tenant streams, each offset into its partition.
+
+    Every tenant generates over a footprint equal to its partition size
+    (so its pattern spans exactly its slice of the volume) with its own
+    seed, then its offsets shift to the partition start.  A heap merge
+    on timestamps interleaves the streams, modeling independent clients
+    sharing one device.
+    """
+    from repro.errors import ConfigError
+
+    partitions = spec.tenant_partitions()
+    streams: list[list[IORequest]] = []
+    for index, tenant in enumerate(spec.tenants):
+        name, start, size = partitions[index]
+        try:
+            generator = _make_generator(
+                tenant.workload, tenant.num_requests, size,
+                spec.tenant_seed(index),
+                tenant.workload_kwargs, f"tenants[{name!r}].workload_kwargs",
+            )
+        except ConfigError:
+            raise
+        except Exception as exc:  # e.g. partition below the 16 MiB floor
+            raise ConfigError(f"tenants[{name!r}]: {exc}") from None
+        streams.append(
+            [r.shifted(start) for r in generator.generate().requests]
+        )
+    merged = list(heapq.merge(*streams, key=lambda r: r.timestamp_us))
+    return Trace(merged, name=f"tenants-s{spec.seed}")
 
 
 def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
@@ -56,7 +106,13 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
     The trace is first fitted to the device's logical capacity (offsets
     wrap), then the device is aged by a sequential warm fill so garbage
     collection is active from the start — matching how trace-driven
-    flash studies precondition devices.
+    flash studies precondition devices.  ``spec.precondition`` phases
+    run after the warm fill (stats discarded), steering the device into
+    a workload-specific steady state before measurement begins.  With
+    ``spec.tenants`` set, the replay attributes every request to the
+    tenant whose LBA partition it falls in, so the result carries
+    per-tenant counts, service time and (timed modes) response-time
+    percentiles.
 
     With ``spec.reliability`` set, a :class:`ReliabilityManager` (and,
     when ``spec.refresh`` is true, a :class:`RefreshPolicy`) attaches to
@@ -85,6 +141,8 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
     fitted = trace.fit_to(ssd.capacity_bytes)
     if spec.effective_warm_fill > 0:
         ssd.warm_fill(spec.effective_warm_fill)
+    for index, phase in enumerate(spec.precondition):
+        _precondition(ssd, spec, phase, index)
     if manager is not None:
         manager.reset_stats()
         if spec.retention_age_s > 0:
@@ -94,11 +152,28 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
         mode=spec.mode,
         queue_depth=spec.queue_depth,
         arrival_scale=spec.arrival_scale,
+        tenants=spec.tenant_partitions(),
     )
     if spec.reread_age_s > 0:
         result = _reread_aged(ssd, ftl, manager, fitted, result, spec)
     result.ftl = ftl  # type: ignore[attr-defined]  # exposed for reports
     return result
+
+
+def _precondition(ssd: SSD, spec: ScenarioSpec, phase, index: int) -> None:
+    """Replay one steady-state preconditioning phase, discarding stats.
+
+    The phase's workload runs over the *full* footprint (tenant
+    partitions do not bound preconditioning — the goal is device-wide
+    steady state), then the FTL's stats reset so the measured replay
+    starts clean but on an aged device.
+    """
+    generator = _make_generator(
+        phase.workload, phase.num_requests, spec.footprint_bytes,
+        phase.seed if phase.seed >= 0 else spec.seed + 1000 + index,
+        phase.workload_kwargs, f"precondition[{index}].workload_kwargs",
+    )
+    ssd.precondition(generator.generate().fit_to(ssd.capacity_bytes))
 
 
 def _reread_aged(

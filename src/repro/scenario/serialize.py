@@ -35,7 +35,7 @@ from repro.errors import ConfigError
 from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import NandSpec
 from repro.reliability.manager import ReliabilityConfig
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
 from repro.scenario.sweep import SweepAxis
 
 #: keys a scenario *file* may carry beyond the spec fields.
@@ -47,6 +47,12 @@ _SECTIONS = {
     "ppb": PPBConfig,
     "reliability": ReliabilityConfig,
     "mapping": MappingConfig,
+}
+
+#: repeated sections (lists of sub-specs) and their element types.
+_LIST_SECTIONS = {
+    "tenants": TenantSpec,
+    "precondition": PreconditionPhase,
 }
 
 
@@ -69,8 +75,25 @@ def spec_to_dict(spec: ScenarioSpec) -> dict:
             if value:
                 out[f.name] = dict(value)
             continue
+        if f.name in _LIST_SECTIONS:
+            if value:
+                out[f.name] = [_subspec_to_dict(item) for item in value]
+            continue
         if dataclasses.is_dataclass(value):
             out[f.name] = dataclasses.asdict(value)
+            continue
+        out[f.name] = value
+    return out
+
+
+def _subspec_to_dict(item) -> dict:
+    """Dict form of a tenant / preconditioning phase entry."""
+    out: dict[str, object] = {}
+    for f in dataclasses.fields(item):
+        value = getattr(item, f.name)
+        if f.name == "workload_kwargs":
+            if value:
+                out[f.name] = dict(value)
             continue
         out[f.name] = value
     return out
@@ -92,6 +115,8 @@ def spec_from_dict(data: typing.Mapping) -> ScenarioSpec:
             )
         if key in _SECTIONS:
             kwargs[key] = _dataclass_from_dict(_SECTIONS[key], value, path=key)
+        elif key in _LIST_SECTIONS:
+            kwargs[key] = _subspecs_from(_LIST_SECTIONS[key], value, path=key)
         elif key == "workload_kwargs":
             kwargs[key] = _workload_kwargs_from(value)
         else:
@@ -99,8 +124,36 @@ def spec_from_dict(data: typing.Mapping) -> ScenarioSpec:
     return ScenarioSpec(**kwargs)  # type: ignore[arg-type]
 
 
-def _workload_kwargs_from(value: object) -> tuple[tuple[str, float], ...]:
-    path = "workload_kwargs"
+def _subspecs_from(cls: type, value: object, path: str) -> tuple:
+    """Rebuild a ``tenants`` / ``precondition`` list of sub-specs."""
+    if not isinstance(value, (list, tuple)):
+        raise ConfigError(
+            f"{path} must be a list of tables, got {type(value).__name__}"
+        )
+    out = []
+    for i, entry in enumerate(value):
+        where = f"{path}[{i}]"
+        if not isinstance(entry, typing.Mapping):
+            raise ConfigError(f"{where} must be a table/mapping, got {entry!r}")
+        hints = typing.get_type_hints(cls)
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs: dict[str, object] = {}
+        for key, val in entry.items():
+            if key not in known:
+                raise ConfigError(
+                    f"unknown field {where}.{key}; known fields: {sorted(known)}"
+                )
+            if key == "workload_kwargs":
+                kwargs[key] = _workload_kwargs_from(val, path=f"{where}.{key}")
+            else:
+                kwargs[key] = _coerce(val, hints[key], path=f"{where}.{key}")
+        out.append(cls(**kwargs))
+    return tuple(out)
+
+
+def _workload_kwargs_from(
+    value: object, path: str = "workload_kwargs"
+) -> tuple[tuple[str, int | float | str | bool], ...]:
     if isinstance(value, typing.Mapping):
         items = list(value.items())
     elif isinstance(value, (list, tuple)):
@@ -119,8 +172,10 @@ def _workload_kwargs_from(value: object) -> tuple[tuple[str, float], ...]:
     for name, val in items:
         if not isinstance(name, str):
             raise ConfigError(f"{path} keys must be strings, got {name!r}")
-        if isinstance(val, bool) or not isinstance(val, (int, float)):
-            raise ConfigError(f"{path}.{name} must be a number, got {val!r}")
+        if not isinstance(val, (int, float, str, bool)):
+            raise ConfigError(
+                f"{path}.{name} must be int/float/str/bool, got {val!r}"
+            )
         out.append((name, val))
     return tuple(out)
 
@@ -209,22 +264,42 @@ def _toml_scalar(value: object) -> str:
     raise ConfigError(f"cannot serialize {value!r} to TOML")
 
 
+def _toml_table_lines(table: dict) -> list[str]:
+    """Key lines of one table; nested dicts become inline tables."""
+    lines = []
+    for key, value in table.items():
+        if isinstance(value, dict):  # e.g. a tenant's workload_kwargs
+            inner = ", ".join(f"{k} = {_toml_scalar(v)}" for k, v in value.items())
+            lines.append(f"{key} = {{ {inner} }}")
+        else:
+            lines.append(f"{key} = {_toml_scalar(value)}")
+    return lines
+
+
 def spec_to_toml(spec: ScenarioSpec) -> str:
     """TOML text of :func:`spec_to_dict`: scalars first, then one
-    ``[section]`` table per nested config."""
+    ``[section]`` table per nested config and one ``[[section]]``
+    array-of-tables entry per tenant / preconditioning phase."""
     data = spec_to_dict(spec)
     lines: list[str] = []
     tables: list[tuple[str, dict]] = []
+    arrays: list[tuple[str, list]] = []
     for key, value in data.items():
         if isinstance(value, dict):
             tables.append((key, value))
+        elif isinstance(value, list):
+            arrays.append((key, value))
         else:
             lines.append(f"{key} = {_toml_scalar(value)}")
     for name, table in tables:
         lines.append("")
         lines.append(f"[{name}]")
-        for key, value in table.items():
-            lines.append(f"{key} = {_toml_scalar(value)}")
+        lines.extend(_toml_table_lines(table))
+    for name, entries in arrays:
+        for entry in entries:
+            lines.append("")
+            lines.append(f"[[{name}]]")
+            lines.extend(_toml_table_lines(entry))
     return "\n".join(lines) + "\n"
 
 

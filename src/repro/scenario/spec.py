@@ -41,6 +41,120 @@ from repro.traces.workloads import WORKLOADS
 #: Replay modes the engine accepts (see :meth:`repro.sim.ssd.SSD.replay`).
 VALID_MODES = ("sequential", "timed")
 
+#: value types a workload kwarg may carry (pattern names are strings,
+#: zone counts are ints — not everything is a float).
+KWARG_TYPES = (int, float, str, bool)
+
+
+def _fmt_value(value: int | float | str | bool) -> str:
+    """Compact kwarg rendering for :meth:`ScenarioSpec.describe`."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _normalize_kwargs(
+    kwargs: object, owner: str
+) -> tuple[tuple[str, int | float | str | bool], ...]:
+    """Canonically-sorted, validated item tuple (dicts accepted)."""
+    if isinstance(kwargs, dict):
+        items = tuple(sorted(kwargs.items()))
+    else:
+        # Sort by key only: values may mix types (str vs float) and
+        # must never be compared.
+        items = tuple(sorted((tuple(item) for item in kwargs), key=lambda kv: kv[0]))
+    for key, value in items:
+        if not isinstance(key, str):
+            raise ConfigError(f"{owner} keys must be strings, got {key!r}")
+        if not isinstance(value, KWARG_TYPES):
+            raise ConfigError(
+                f"{owner}[{key!r}] must be int/float/str/bool, got {value!r}"
+            )
+    return items
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One named sub-workload of a multi-tenant scenario.
+
+    Tenants share a single device but own disjoint LBA-range
+    partitions (share-weighted slices of the scenario's footprint), so
+    their traffic interferes only where real co-located workloads do:
+    in the FTL (shared blocks, shared GC) and in the timed mode's chip
+    and channel queues.
+    """
+
+    #: tenant name — the key of every per-tenant report column.
+    name: str
+    workload: str = "web-sql"
+    num_requests: int = 4_000
+    workload_kwargs: tuple[tuple[str, int | float | str | bool], ...] = ()
+    #: generator seed; -1 (the default) derives one from the scenario
+    #: seed and the tenant's position, so tenants never share a stream.
+    seed: int = -1
+    #: relative weight of this tenant's LBA partition.
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(f"tenant name must be a non-empty string, got {self.name!r}")
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        if self.num_requests < 1:
+            raise ConfigError(
+                f"tenant {self.name!r}: num_requests must be >= 1, got {self.num_requests}"
+            )
+        object.__setattr__(
+            self,
+            "workload_kwargs",
+            _normalize_kwargs(self.workload_kwargs, f"tenant {self.name!r} workload_kwargs"),
+        )
+        if self.seed < -1:
+            raise ConfigError(f"tenant {self.name!r}: seed must be >= -1, got {self.seed}")
+        if not self.share > 0:
+            raise ConfigError(f"tenant {self.name!r}: share must be > 0, got {self.share}")
+
+
+@dataclass(frozen=True)
+class PreconditionPhase:
+    """One steady-state preconditioning pass run before the measured replay.
+
+    Phases replay over the scenario's full footprint and leave every
+    device-state consequence in place — fragmentation, wear, data
+    temperature, retention age — but none of their timing is accounted
+    (stats reset after each phase, exactly like the warm fill).
+    """
+
+    workload: str = "uniform"
+    num_requests: int = 10_000
+    workload_kwargs: tuple[tuple[str, int | float | str | bool], ...] = ()
+    #: generator seed; -1 derives one from the scenario seed and the
+    #: phase's position.
+    seed: int = -1
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"precondition phase: unknown workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        if self.num_requests < 1:
+            raise ConfigError(
+                f"precondition phase: num_requests must be >= 1, got {self.num_requests}"
+            )
+        object.__setattr__(
+            self,
+            "workload_kwargs",
+            _normalize_kwargs(self.workload_kwargs, "precondition workload_kwargs"),
+        )
+        if self.seed < -1:
+            raise ConfigError(f"precondition phase: seed must be >= -1, got {self.seed}")
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -58,15 +172,25 @@ class ScenarioSpec:
     workload: str = "web-sql"
     num_requests: int = 8_000
     #: extra generator kwargs as a sorted item tuple (hashable), e.g.
-    #: ``(("zipf_theta", 0.95),)`` for the hotness-skew axis.  Dicts are
-    #: accepted and normalized.
-    workload_kwargs: tuple[tuple[str, float], ...] = ()
+    #: ``(("zipf_theta", 0.95),)`` for the hotness-skew axis or
+    #: ``(("phases", "write:seq | read:zipf"),)`` for the pattern
+    #: suite.  Dicts are accepted and normalized; values may be
+    #: int/float/str/bool.
+    workload_kwargs: tuple[tuple[str, int | float | str | bool], ...] = ()
     #: fraction of logical capacity the workload's footprint spans.
     footprint_fraction: float = 0.80
     seed: int = 42
     #: optional MSRC CSV file to replay instead of generating the
     #: workload (the trace still fits to the device's capacity).
     trace_path: str | None = None
+    #: multi-tenant mode: named sub-workloads on disjoint LBA-range
+    #: partitions of the footprint.  When non-empty, the single
+    #: ``workload``/``workload_kwargs`` above are ignored — the trace is
+    #: the timestamp-merged union of the tenants' streams.
+    tenants: tuple[TenantSpec, ...] = ()
+    #: steady-state preconditioning: phases replayed (unaccounted)
+    #: between the warm fill and the measured replay.
+    precondition: tuple[PreconditionPhase, ...] = ()
 
     # -- device ---------------------------------------------------------
     #: full device geometry/timing (the paper's Table 1 knobs).
@@ -125,15 +249,33 @@ class ScenarioSpec:
             )
         # Normalize workload_kwargs to a canonically-sorted item tuple so
         # equal scenarios hash equal however they were written.
-        kwargs = self.workload_kwargs
-        if isinstance(kwargs, dict):
-            kwargs = tuple(sorted(kwargs.items()))
-        else:
-            kwargs = tuple(sorted(tuple(item) for item in kwargs))
-        object.__setattr__(self, "workload_kwargs", kwargs)
-        for key, _ in kwargs:
-            if not isinstance(key, str):
-                raise ConfigError(f"workload_kwargs keys must be strings, got {key!r}")
+        object.__setattr__(
+            self,
+            "workload_kwargs",
+            _normalize_kwargs(self.workload_kwargs, "workload_kwargs"),
+        )
+        tenants = tuple(
+            TenantSpec(**t) if isinstance(t, dict) else t for t in self.tenants
+        )
+        for tenant in tenants:
+            if not isinstance(tenant, TenantSpec):
+                raise ConfigError(f"tenants entries must be TenantSpec, got {tenant!r}")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"tenant names must be unique, got {names}")
+        object.__setattr__(self, "tenants", tenants)
+        if tenants and self.trace_path is not None:
+            raise ConfigError("tenants and trace_path are mutually exclusive")
+        phases = tuple(
+            PreconditionPhase(**p) if isinstance(p, dict) else p
+            for p in self.precondition
+        )
+        for phase in phases:
+            if not isinstance(phase, PreconditionPhase):
+                raise ConfigError(
+                    f"precondition entries must be PreconditionPhase, got {phase!r}"
+                )
+        object.__setattr__(self, "precondition", phases)
         from repro.sim.replay import FTL_FACTORIES  # deferred: avoids import cycle
 
         if self.ftl not in FTL_FACTORIES:
@@ -183,12 +325,41 @@ class ScenarioSpec:
         """The workload footprint in bytes on this device."""
         return int(self.device.logical_bytes * self.footprint_fraction)
 
+    def tenant_partitions(self) -> tuple[tuple[str, int, int], ...]:
+        """``(name, start_byte, size_bytes)`` per tenant: share-weighted
+        contiguous slices of the footprint, 4 KiB-aligned, with the last
+        tenant absorbing the rounding remainder."""
+        if not self.tenants:
+            return ()
+        total_share = sum(t.share for t in self.tenants)
+        footprint = self.footprint_bytes
+        partitions: list[tuple[str, int, int]] = []
+        cursor = 0
+        for i, tenant in enumerate(self.tenants):
+            if i == len(self.tenants) - 1:
+                size = footprint - cursor
+            else:
+                size = int(footprint * tenant.share / total_share) // 4096 * 4096
+            partitions.append((tenant.name, cursor, size))
+            cursor += size
+        return tuple(partitions)
+
+    def tenant_seed(self, index: int) -> int:
+        """Effective generator seed of tenant ``index`` (explicit seed,
+        or one derived from the scenario seed and the position)."""
+        tenant = self.tenants[index]
+        if tenant.seed >= 0:
+            return tenant.seed
+        return self.seed + index
+
     def trace_key(self) -> tuple:
         """What the replayed trace depends on — deliberately *not* the
         FTL, device timing or reliability knobs, so every variant at one
         sweep point replays the byte-identical request stream."""
         if self.trace_path is not None:
             return ("trace-file", self.trace_path)
+        if self.tenants:
+            return ("tenants", self.footprint_bytes, self.seed, self.tenants)
         return (
             self.workload,
             self.num_requests,
@@ -203,11 +374,21 @@ class ScenarioSpec:
 
     def describe(self) -> str:
         """Short human-readable digest for reports and CLI output."""
-        parts = [f"{self.workload} x{self.num_requests} on {self.ftl}"]
-        if self.workload_kwargs:
-            parts.append(
-                "(" + ", ".join(f"{k}={v:g}" for k, v in self.workload_kwargs) + ")"
+        if self.tenants:
+            tenants = "+".join(
+                f"{t.name}:{t.workload}x{t.num_requests}" for t in self.tenants
             )
+            parts = [f"tenants[{tenants}] on {self.ftl}"]
+        else:
+            parts = [f"{self.workload} x{self.num_requests} on {self.ftl}"]
+        if self.workload_kwargs and not self.tenants:
+            parts.append(
+                "("
+                + ", ".join(f"{k}={_fmt_value(v)}" for k, v in self.workload_kwargs)
+                + ")"
+            )
+        if self.precondition:
+            parts.append(f"precond x{len(self.precondition)}")
         parts.append(
             f"[{self.device.blocks_per_chip} blk, {self.device.speed_ratio:g}x]"
         )
@@ -225,3 +406,39 @@ class ScenarioSpec:
                 timed += f", qd={self.queue_depth}"
             parts.append(timed + ")")
         return " ".join(parts)
+
+
+def _render_value(value: object) -> str:
+    """One constructor argument for :func:`spec_snippet`."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        if isinstance(value, NandSpec):
+            reference, ctor = sim_spec(), "sim_spec"
+        else:
+            reference, ctor = type(value)(), type(value).__name__
+        inner = ", ".join(
+            f"{f.name}={_render_value(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+            if getattr(value, f.name) != getattr(reference, f.name)
+        )
+        return f"{ctor}({inner})"
+    if isinstance(value, tuple) and value and all(
+        isinstance(item, tuple) and len(item) == 2 for item in value
+    ):
+        return repr(dict(value))  # workload_kwargs read better as a dict
+    return repr(value)
+
+
+def spec_snippet(spec: ScenarioSpec) -> str:
+    """Constructor text of a spec's non-default fields.
+
+    The deprecation shims (``replay_trace``, ``ReplaySpec``) use this to
+    show callers the modern spelling of exactly the experiment they
+    asked for.
+    """
+    reference = ScenarioSpec()
+    args = ", ".join(
+        f"{f.name}={_render_value(getattr(spec, f.name))}"
+        for f in dataclasses.fields(spec)
+        if getattr(spec, f.name) != getattr(reference, f.name)
+    )
+    return f"ScenarioSpec({args})"

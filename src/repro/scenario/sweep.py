@@ -43,6 +43,10 @@ _AUTO_SECTIONS = {
     "mapping": MappingConfig,
 }
 
+#: repeated sections addressed by element: ``tenants.0.num_requests`` by
+#: index, or ``tenants.db.num_requests`` by tenant name.
+_LIST_FIELDS = ("tenants", "precondition")
+
 
 @dataclass(frozen=True)
 class SweepAxis:
@@ -73,6 +77,39 @@ def _field_names(obj: object) -> set[str]:
     return {f.name for f in dataclasses.fields(obj)}
 
 
+def _element_index(items: tuple, selector: str, dotted: str) -> int:
+    """Resolve a ``tenants``/``precondition`` element selector: a
+    0-based index, or (tenants) the tenant's name."""
+    if not items:
+        raise ConfigError(f"{dotted!r}: the spec has no entries to select from")
+    try:
+        index = int(selector)
+    except ValueError:
+        for i, item in enumerate(items):
+            if getattr(item, "name", None) == selector:
+                return i
+        names = [getattr(item, "name", None) for item in items]
+        known = [n for n in names if n is not None]
+        raise ConfigError(
+            f"{dotted}.{selector}: no entry named {selector!r}; "
+            f"use an index 0..{len(items) - 1}"
+            + (f" or a name from {sorted(known)}" if known else "")
+        ) from None
+    if not 0 <= index < len(items):
+        raise ConfigError(
+            f"{dotted}.{selector}: index out of range (have {len(items)} entries)"
+        )
+    return index
+
+
+def _has_kwargs_field(obj: object) -> bool:
+    """Whether ``obj`` carries a ``workload_kwargs`` tuple (the spec
+    itself, a tenant, or a preconditioning phase)."""
+    return dataclasses.is_dataclass(obj) and not isinstance(obj, type) and (
+        "workload_kwargs" in _field_names(obj)
+    )
+
+
 def get_path(spec: ScenarioSpec, path: str):
     """Read the value at a dotted path; ConfigError names the bad segment.
 
@@ -87,7 +124,11 @@ def get_path(spec: ScenarioSpec, path: str):
         walked.append(part)
         if obj is None and walked[:-1] and walked[-2] in _AUTO_SECTIONS:
             obj = _AUTO_SECTIONS[walked[-2]]()
-        if part == "workload_kwargs" and isinstance(obj, ScenarioSpec) and i + 1 < len(parts):
+        if isinstance(obj, tuple) and walked[:-1] and walked[-2] in _LIST_FIELDS:
+            # This segment selects one tenant / preconditioning phase.
+            obj = obj[_element_index(obj, part, ".".join(walked[:-1]))]
+            continue
+        if part == "workload_kwargs" and _has_kwargs_field(obj) and i + 1 < len(parts):
             kwargs = dict(obj.workload_kwargs)
             key = parts[i + 1]
             if len(parts) != i + 2:
@@ -125,16 +166,29 @@ def _set_in(obj: object, parts: list[str], value: object, walked: list[str]):
 
     head, rest = parts[0], parts[1:]
     dotted = ".".join(walked + [head])
-    if head == "workload_kwargs" and isinstance(obj, ScenarioSpec) and rest:
+    if head == "workload_kwargs" and _has_kwargs_field(obj) and rest:
         if len(rest) != 1:
             raise ConfigError(
                 f"workload_kwargs paths have exactly one key segment, got {dotted + '.' + '.'.join(rest)!r}"
             )
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise ConfigError(f"{dotted}.{rest[0]} must be a number, got {value!r}")
+        if not isinstance(value, (int, float, str, bool)):
+            raise ConfigError(
+                f"{dotted}.{rest[0]} must be int/float/str/bool, got {value!r}"
+            )
         kwargs = dict(obj.workload_kwargs)
         kwargs[rest[0]] = value
-        return dataclasses.replace(obj, workload_kwargs=tuple(sorted(kwargs.items())))
+        return dataclasses.replace(obj, workload_kwargs=tuple(kwargs.items()))
+    if head in _LIST_FIELDS and isinstance(obj, ScenarioSpec) and rest:
+        entries = getattr(obj, head)
+        index = _element_index(entries, rest[0], dotted)
+        if len(rest) == 1:
+            raise ConfigError(
+                f"{dotted}.{rest[0]!r} is a config section, not a sweepable "
+                f"scalar; sweep one of its fields (e.g. {dotted}.{rest[0]}.<field>)"
+            )
+        element = _set_in(entries[index], rest[1:], value, walked + [head, rest[0]])
+        rebuilt = entries[:index] + (element,) + entries[index + 1:]
+        return dataclasses.replace(obj, **{head: rebuilt})
     if not dataclasses.is_dataclass(obj):
         raise ConfigError(
             f"cannot descend into {'.'.join(walked)!r}: not a config section"
@@ -163,7 +217,23 @@ def _is_section_hint(hint: object) -> bool:
     origin = typing.get_origin(hint)
     if origin in (typing.Union, types.UnionType):
         return any(_is_section_hint(a) for a in typing.get_args(hint))
+    if origin is tuple:  # tenants / precondition tuples
+        return any(dataclasses.is_dataclass(a) for a in typing.get_args(hint))
     return dataclasses.is_dataclass(hint)
+
+
+def _dict_list_entry(node: list, selector: str, dotted: str) -> dict:
+    """Element of a ``tenants``/``precondition`` list in dict form."""
+    try:
+        index = int(selector)
+    except ValueError:
+        for entry in node:
+            if isinstance(entry, dict) and entry.get("name") == selector:
+                return entry
+        raise ConfigError(f"{dotted}: no entry named {selector!r}") from None
+    if not 0 <= index < len(node):
+        raise ConfigError(f"{dotted}: index out of range (have {len(node)} entries)")
+    return node[index]
 
 
 def _set_in_dict(data: dict, path: str, value: object) -> None:
@@ -171,12 +241,19 @@ def _set_in_dict(data: dict, path: str, value: object) -> None:
     parts = path.split(".")
     node = data
     for i, part in enumerate(parts[:-1]):
-        node = node.setdefault(part, {})
-        if not isinstance(node, dict):
+        dotted = ".".join(parts[: i + 1])
+        if isinstance(node, list):
+            node = _dict_list_entry(node, part, dotted)
+        else:
+            node = node.setdefault(part, {})
+        if not isinstance(node, (dict, list)):
             raise ConfigError(
-                f"cannot descend into {'.'.join(parts[: i + 1])!r}: "
-                "not a config section"
+                f"cannot descend into {dotted!r}: not a config section"
             )
+    if isinstance(node, list):
+        raise ConfigError(
+            f"{path!r} selects a whole entry, not a sweepable scalar"
+        )
     node[parts[-1]] = value
 
 
@@ -237,6 +314,79 @@ def sweep(base: ScenarioSpec, axes: typing.Iterable[SweepAxis]) -> list[Scenario
 def axis_values(spec: ScenarioSpec, axes: typing.Iterable[SweepAxis]) -> list:
     """The swept coordinates of one expanded spec (report columns)."""
     return [get_path(spec, axis.path) for axis in axes]
+
+
+# ----------------------------------------------------------------------
+# path discovery (the `repro scenario paths` listing)
+# ----------------------------------------------------------------------
+
+def _hint_label(hint: object) -> str:
+    """Human-readable type label of a field hint (Optionals unwrapped)."""
+    origin = typing.get_origin(hint)
+    if origin in (typing.Union, types.UnionType):
+        members = [a for a in typing.get_args(hint) if a is not type(None)]
+        return " | ".join(_hint_label(m) for m in members)
+    if isinstance(hint, type):
+        return hint.__name__
+    return str(hint)
+
+
+def _value_label(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+def list_paths(spec: ScenarioSpec | None = None) -> list[tuple[str, str, str]]:
+    """Every sweepable dotted path as ``(path, type, default)`` rows.
+
+    ``spec`` supplies the defaults column (and the concrete
+    ``workload_kwargs`` / ``tenants`` entries to enumerate); omitted, a
+    default :class:`ScenarioSpec` is described.  Optional sections that
+    are ``None`` list their would-be defaults, matching how
+    :func:`get_path` and ``--set`` auto-instantiate them.
+    """
+    spec = ScenarioSpec() if spec is None else spec
+    rows: list[tuple[str, str, str]] = []
+
+    def describe(obj: object, prefix: str) -> None:
+        hints = typing.get_type_hints(type(obj))
+        for f in dataclasses.fields(obj):
+            path = f"{prefix}{f.name}"
+            value = getattr(obj, f.name)
+            hint = hints[f.name]
+            if f.name == "workload_kwargs":
+                for key, val in value:
+                    rows.append((f"{path}.{key}", type(val).__name__,
+                                 _value_label(val)))
+                if not value:
+                    rows.append((f"{path}.<key>", "int | float | str | bool",
+                                 "(workload-specific)"))
+                continue
+            if f.name in _LIST_FIELDS:
+                for i, item in enumerate(value):
+                    name = getattr(item, "name", None)
+                    selector = name if name is not None else str(i)
+                    describe(item, f"{path}.{selector}.")
+                if not value:
+                    rows.append((f"{path}.<{'name' if f.name == 'tenants' else 'index'}>.…",
+                                 "table", "(none configured)"))
+                continue
+            if value is None and f.name in _AUTO_SECTIONS:
+                value = _AUTO_SECTIONS[f.name]()
+            if dataclasses.is_dataclass(value):
+                describe(value, f"{path}.")
+                continue
+            if _is_section_hint(hint):
+                continue  # absent non-auto section (trace_path etc. are scalars)
+            rows.append((path, _hint_label(hint), _value_label(value)))
+
+    describe(spec, "")
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -108,16 +108,19 @@ def replay_trace(
     arrival_scale: float = 1.0,
     mapping: MappingConfig | None = None,
 ) -> RunResult:
-    """Replay a prebuilt trace on a fresh device (compatibility shim).
+    """Replay a prebuilt trace on a fresh device (**deprecated** shim).
 
     Equivalent to building a :class:`~repro.scenario.spec.ScenarioSpec`
     from these arguments and calling
     :func:`repro.scenario.run.execute_scenario` — which is exactly what
     it does.  See that function for the phase-schedule semantics
-    (warm fill, pre-age, replay, shelf-age + re-read).
+    (warm fill, pre-age, replay, shelf-age + re-read).  The emitted
+    :class:`DeprecationWarning` spells out the equivalent spec.
     """
+    import warnings
+
     from repro.scenario.run import execute_scenario
-    from repro.scenario.spec import ScenarioSpec
+    from repro.scenario.spec import ScenarioSpec, spec_snippet
 
     scenario = ScenarioSpec(
         device=spec,
@@ -132,5 +135,13 @@ def replay_trace(
         queue_depth=queue_depth,
         arrival_scale=arrival_scale,
         mapping=mapping,
+    )
+    warnings.warn(
+        "replay_trace is deprecated; run the scenario engine directly:\n"
+        "    from repro.scenario.run import execute_scenario\n"
+        f"    execute_scenario({spec_snippet(scenario)}, trace)\n"
+        "or drop the prebuilt trace and go through run_scenario(spec).",
+        DeprecationWarning,
+        stacklevel=2,
     )
     return execute_scenario(scenario, trace)

@@ -47,7 +47,7 @@ from typing import Protocol
 from repro.errors import ConfigError
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
-from repro.traces.record import IORequest, Trace
+from repro.traces.record import IORequest, OpType, Trace
 
 
 class FtlProtocol(Protocol):
@@ -58,6 +58,7 @@ class FtlProtocol(Protocol):
 
     def host_read(self, lpn: int) -> float: ...
     def host_write(self, lpn: int, nbytes: int | None = None) -> float: ...
+    def trim(self, lpn: int) -> float: ...
 
 
 @dataclass
@@ -81,11 +82,22 @@ class RunResult:
     #: mean per-page service times, for sanity checks.
     mean_read_page_us: float = 0.0
     mean_write_page_us: float = 0.0
+    #: TRIM/discard requests and their host-visible service time (zero
+    #: for RAM-map FTLs; DFTL pays translation traffic to invalidate).
+    trim_requests: int = 0
+    trim_us: float = 0.0
     #: response times from timed mode (empty in sequential mode).
     response_times_us: list[float] = field(default_factory=list)
     #: timed-mode response times split by request class.
     read_response_times_us: list[float] = field(default_factory=list)
     write_response_times_us: list[float] = field(default_factory=list)
+    trim_response_times_us: list[float] = field(default_factory=list)
+    #: per-tenant aggregates (multi-tenant scenarios only; keyed by
+    #: tenant name).  Requests and summed service time fill in both
+    #: replay modes; response times only in timed mode.
+    tenant_requests: dict[str, int] = field(default_factory=dict)
+    tenant_service_us: dict[str, float] = field(default_factory=dict)
+    tenant_response_times_us: dict[str, list[float]] = field(default_factory=dict)
     #: simulated makespan of a timed replay (0.0 in sequential mode);
     #: ``num_requests / simulated_us`` is the replay's throughput.
     simulated_us: float = 0.0
@@ -114,10 +126,23 @@ class RunResult:
         for name, times in (
             ("read", self.read_response_times_us),
             ("write", self.write_response_times_us),
+            ("trim", self.trim_response_times_us),
         ):
             if times:
                 out[name] = _percentiles(times)
         return out
+
+    def tenant_response_percentiles(self) -> dict[str, dict[str, float]]:
+        """Timed-mode response percentiles per tenant.
+
+        ``{"db": {"p50_us": ...}, ...}`` for multi-tenant replays;
+        empty in sequential mode or single-tenant scenarios.
+        """
+        return {
+            name: _percentiles(times)
+            for name, times in self.tenant_response_times_us.items()
+            if times
+        }
 
     @property
     def throughput_kiops(self) -> float:
@@ -179,6 +204,9 @@ class SSD:
         self.capacity_bytes = ftl.num_lpns * page_size
         #: hoisted for the per-request loop in :meth:`service`.
         self._num_lpns = ftl.num_lpns
+        #: active tenant partitions ((start, end, name) per tenant),
+        #: set for the duration of a multi-tenant replay.
+        self._tenant_ranges: tuple[tuple[int, int, str], ...] = ()
 
     # ------------------------------------------------------------------
     # Single-request service
@@ -202,6 +230,10 @@ class SSD:
             host_read = self.ftl.host_read
             for lpn in range(first, last + 1):
                 latency += host_read(lpn)
+        elif request.op is OpType.TRIM:
+            trim = self.ftl.trim
+            for lpn in range(first, last + 1):
+                latency += trim(lpn)
         else:
             host_write = self.ftl.host_write
             size = request.size
@@ -229,6 +261,19 @@ class SSD:
             host_write(lpn, nbytes=nbytes)
         self._reset_stats()
 
+    def precondition(self, trace: Trace) -> None:
+        """Replay a trace purely for its device-state side effects.
+
+        Used by the scenario engine's steady-state preconditioning
+        phases: the requests fragment the blocks, exercise GC and age
+        the wear state exactly as a measured replay would, but none of
+        it is accounted — stats reset afterwards, like a warm fill.
+        """
+        service = self.service
+        for request in trace.requests:
+            service(request)
+        self._reset_stats()
+
     def _reset_stats(self) -> None:
         """Zero the FTL's accounting (after warm fill)."""
         stats = getattr(self.ftl, "stats", None)
@@ -247,6 +292,7 @@ class SSD:
         mode: str = "sequential",
         queue_depth: int = 0,
         arrival_scale: float = 1.0,
+        tenants: tuple[tuple[str, int, int], ...] = (),
     ) -> RunResult:
         """Replay a trace; returns aggregated :class:`RunResult`.
 
@@ -254,16 +300,47 @@ class SSD:
         means an unbounded host queue; ``arrival_scale`` (timed mode)
         divides inter-arrival gaps, scaling the offered load.  Both are
         ignored by sequential replays, which have no arrival process.
+
+        ``tenants`` — ``(name, start_byte, size_bytes)`` LBA partitions
+        — turns on per-tenant accounting: each request is attributed to
+        the partition containing its offset, filling the result's
+        ``tenant_*`` aggregates.
         """
         if queue_depth < 0:
             raise ConfigError(f"queue_depth must be >= 0, got {queue_depth}")
         if not arrival_scale > 0.0:
             raise ConfigError(f"arrival_scale must be > 0, got {arrival_scale}")
-        if mode == "sequential":
-            return self._replay_sequential(trace)
-        if mode == "timed":
-            return self._replay_timed(trace, queue_depth, arrival_scale)
+        self._tenant_ranges = tuple(
+            (start, start + size, name) for name, start, size in tenants
+        )
+        try:
+            if mode == "sequential":
+                return self._replay_sequential(trace)
+            if mode == "timed":
+                return self._replay_timed(trace, queue_depth, arrival_scale)
+        finally:
+            self._tenant_ranges = ()
         raise ConfigError(f"unknown replay mode {mode!r}")
+
+    def _tenant_of(self, offset: int) -> str | None:
+        """Name of the tenant partition containing ``offset`` (few
+        tenants, so a linear scan beats a bisect's overhead)."""
+        for start, end, name in self._tenant_ranges:
+            if start <= offset < end:
+                return name
+        return None
+
+    def _account_tenant(
+        self, result: RunResult, request: IORequest, latency: float
+    ) -> str | None:
+        name = self._tenant_of(request.offset)
+        if name is None:
+            return None
+        result.tenant_requests[name] = result.tenant_requests.get(name, 0) + 1
+        result.tenant_service_us[name] = (
+            result.tenant_service_us.get(name, 0.0) + latency
+        )
+        return name
 
     def _base_result(self, trace: Trace) -> RunResult:
         return RunResult(ftl_name=self.ftl.name, trace_name=trace.name)
@@ -271,22 +348,30 @@ class SSD:
     def _replay_sequential(self, trace: Trace) -> RunResult:
         result = self._base_result(trace)
         service = self.service
-        num_requests = read_requests = write_requests = 0
-        read_us = write_us = 0.0
+        tenanted = bool(self._tenant_ranges)
+        num_requests = read_requests = write_requests = trim_requests = 0
+        read_us = write_us = trim_us = 0.0
         for request in trace.requests:
             latency = service(request)
             num_requests += 1
             if request.is_read:
                 read_requests += 1
                 read_us += latency
+            elif request.op is OpType.TRIM:
+                trim_requests += 1
+                trim_us += latency
             else:
                 write_requests += 1
                 write_us += latency
+            if tenanted:
+                self._account_tenant(result, request, latency)
         result.num_requests = num_requests
         result.read_requests = read_requests
         result.write_requests = write_requests
+        result.trim_requests = trim_requests
         result.read_us = read_us
         result.write_us = write_us
+        result.trim_us = trim_us
         self._finalize(result)
         return result
 
@@ -349,10 +434,20 @@ class SSD:
             result.read_requests += 1
             result.read_us += latency
             result.read_response_times_us.append(response_us)
+        elif request.op is OpType.TRIM:
+            result.trim_requests += 1
+            result.trim_us += latency
+            result.trim_response_times_us.append(response_us)
         else:
             result.write_requests += 1
             result.write_us += latency
             result.write_response_times_us.append(response_us)
+        if self._tenant_ranges:
+            name = self._account_tenant(result, request, latency)
+            if name is not None:
+                result.tenant_response_times_us.setdefault(name, []).append(
+                    response_us
+                )
 
     def _replay_timed_serialized(
         self,

@@ -15,13 +15,17 @@ package provides both:
 from repro.traces.record import IORequest, OpType, Trace
 from repro.traces.msr import read_msr_csv, write_msr_csv
 from repro.traces.synthetic import (
+    PatternPhase,
     ScrambledZipfian,
     UniformSampler,
     ZipfianGenerator,
+    make_pattern,
+    parse_phases,
 )
 from repro.traces.workloads import (
     WORKLOADS,
     MediaServerWorkload,
+    PatternSuiteWorkload,
     WebSqlWorkload,
     SyntheticWorkload,
     UniformWorkload,
@@ -37,10 +41,14 @@ __all__ = [
     "ZipfianGenerator",
     "ScrambledZipfian",
     "UniformSampler",
+    "PatternPhase",
+    "make_pattern",
+    "parse_phases",
     "SyntheticWorkload",
     "MediaServerWorkload",
     "WebSqlWorkload",
     "UniformWorkload",
+    "PatternSuiteWorkload",
     "WORKLOADS",
     "TraceStats",
     "characterize",

@@ -23,15 +23,20 @@ class OpType(enum.Enum):
 
     READ = "R"
     WRITE = "W"
+    #: host discard: the byte range's contents are dropped.  The FTL
+    #: unmaps the pages (no program happens), which frees them for GC.
+    TRIM = "T"
 
     @classmethod
     def parse(cls, text: str) -> "OpType":
-        """Parse common spellings: R/W, Read/Write, case-insensitive."""
+        """Parse common spellings: R/W/T, Read/Write/Trim, case-insensitive."""
         norm = text.strip().lower()
         if norm in ("r", "read", "rd", "0"):
             return cls.READ
         if norm in ("w", "write", "wr", "1"):
             return cls.WRITE
+        if norm in ("t", "trim", "discard", "unmap"):
+            return cls.TRIM
         raise TraceError(f"unrecognized op type {text!r}")
 
 
@@ -61,6 +66,11 @@ class IORequest:
         return self.op is OpType.WRITE
 
     @property
+    def is_trim(self) -> bool:
+        """True for TRIM/discard requests."""
+        return self.op is OpType.TRIM
+
+    @property
     def end_offset(self) -> int:
         """One past the last byte touched."""
         return self.offset + self.size
@@ -70,6 +80,10 @@ class IORequest:
         first = self.offset // page_size
         last = (self.end_offset - 1) // page_size
         return range(first, last + 1)
+
+    def shifted(self, delta: int) -> "IORequest":
+        """Copy with the offset moved by ``delta`` bytes (LBA relocation)."""
+        return IORequest(self.op, self.offset + delta, self.size, self.timestamp_us)
 
 
 class Trace:
@@ -100,7 +114,12 @@ class Trace:
     @property
     def write_count(self) -> int:
         """Number of write requests."""
-        return len(self.requests) - self.read_count
+        return sum(1 for r in self.requests if r.is_write)
+
+    @property
+    def trim_count(self) -> int:
+        """Number of TRIM requests."""
+        return sum(1 for r in self.requests if r.is_trim)
 
     @property
     def read_fraction(self) -> float:
@@ -122,6 +141,11 @@ class Trace:
     def bytes_written(self) -> int:
         """Total bytes written."""
         return sum(r.size for r in self.requests if r.is_write)
+
+    @property
+    def bytes_trimmed(self) -> int:
+        """Total bytes discarded by TRIM requests."""
+        return sum(r.size for r in self.requests if r.is_trim)
 
     # ------------------------------------------------------------------
     # Transformations

@@ -1,14 +1,29 @@
-"""Low-level samplers used by the synthetic workload generators.
+"""Low-level samplers and the composable access-pattern algebra.
 
-The key primitive is the bounded Zipfian generator (Gray et al.'s
-algorithm, the same one YCSB uses): rank 0 is the most popular item and
-popularity falls as ``1 / rank**theta``.  :class:`ScrambledZipfian`
-hashes the rank so the popular items are spread across the whole item
-space instead of clustering at low addresses — matching how hot files
-and hot database pages are scattered across a real volume.
+Two layers live here:
+
+* **Samplers** — the bounded Zipfian generator (Gray et al.'s
+  algorithm, the same one YCSB uses): rank 0 is the most popular item
+  and popularity falls as ``1 / rank**theta``.  :class:`ScrambledZipfian`
+  hashes the rank so the popular items are spread across the whole item
+  space instead of clustering at low addresses — matching how hot files
+  and hot database pages are scattered across a real volume.
+
+* **Access patterns** — slot-space walkers (sequential, random,
+  stride, snake-over-zones, Zipfian) plus the phase grammar that
+  composes them into whole workloads.  A *phase* is ``op:pattern`` with
+  optional zone subset and weight (``"write:seq@0-3*2"``); a pipe- or
+  comma-separated phase list is a full experiment program, e.g.
+  ``"write:seq | read:snake | trim:rand | mixed:zipf"``.  Phase
+  boundaries act as barriers: the workload's clock jumps so later
+  phases never overlap earlier ones in timed replays.  The
+  ``pattern-suite`` workload (:mod:`repro.traces.workloads`) binds this
+  algebra to the standard generator interface.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -107,6 +122,244 @@ class UniformSampler:
     def sample(self, count: int) -> np.ndarray:
         """Sample ``count`` item indices as an array."""
         return self.rng.integers(0, self.n, size=count, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Access patterns: slot-space walkers with a shared ``next()`` interface
+# ----------------------------------------------------------------------
+
+class SequentialPattern:
+    """Walk slots ``0 .. n-1`` in order, wrapping around."""
+
+    name = "seq"
+
+    def __init__(self, n: int, rng: np.random.Generator | None = None, **_: object):
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        self.n = n
+        self._cursor = 0
+
+    def next(self) -> int:
+        """Next slot in the walk."""
+        slot = self._cursor
+        self._cursor = (self._cursor + 1) % self.n
+        return slot
+
+
+class SnakePattern:
+    """Boustrophedon walk: odd zones are traversed backwards.
+
+    ``row`` is the zone width in slots; a full sweep visits every slot
+    once, alternating direction per row (the classic "snake" scan used
+    to expose direction-sensitive placement behaviour), then wraps.
+    """
+
+    name = "snake"
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator | None = None,
+        row: int = 0,
+        **_: object,
+    ):
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.row = row if row >= 1 else n
+        self._cursor = 0
+
+    def next(self) -> int:
+        """Next slot in the sweep."""
+        i = self._cursor
+        self._cursor = (self._cursor + 1) % self.n
+        row, within = divmod(i, self.row)
+        if row % 2 == 0:
+            return i
+        # Reversed row; the last (possibly short) row clamps to its end.
+        end = min((row + 1) * self.row, self.n)
+        return end - 1 - within
+
+
+class StridePattern:
+    """Visit every ``stride``-th slot, shifting one lane per wrap.
+
+    After ``ceil(n / stride)`` steps the walk returns to the start and
+    moves to the next lane, so all slots are eventually covered — the
+    access shape of striped/RAID-style clients.
+    """
+
+    name = "stride"
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator | None = None,
+        stride: int = 8,
+        **_: object,
+    ):
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        if stride < 1:
+            raise ConfigError(f"stride must be >= 1, got {stride}")
+        self.n = n
+        self.stride = stride
+        self._pos = 0
+        self._lane = 0
+
+    def next(self) -> int:
+        """Next slot in the strided walk."""
+        slot = self._pos
+        self._pos += self.stride
+        if self._pos >= self.n:
+            self._lane = (self._lane + 1) % min(self.stride, self.n)
+            self._pos = self._lane
+        return slot
+
+
+class RandomPattern:
+    """Uniform random slots (thin wrapper keeping the pattern interface)."""
+
+    name = "rand"
+
+    def __init__(self, n: int, rng: np.random.Generator | None = None, **_: object):
+        self._sampler = UniformSampler(n, rng)
+
+    def next(self) -> int:
+        """Next uniform slot."""
+        return self._sampler.next()
+
+
+class ZipfPattern:
+    """Zipf-popular slots, scattered (the temperature-population shape)."""
+
+    name = "zipf"
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator | None = None,
+        theta: float = 0.9,
+        **_: object,
+    ):
+        self._sampler = ScrambledZipfian(n, theta, rng)
+
+    def next(self) -> int:
+        """Next Zipf-distributed slot."""
+        return self._sampler.next()
+
+
+#: pattern registry: spelling -> class (aliases included).
+PATTERNS: dict[str, type] = {
+    "seq": SequentialPattern,
+    "sequential": SequentialPattern,
+    "rand": RandomPattern,
+    "random": RandomPattern,
+    "stride": StridePattern,
+    "snake": SnakePattern,
+    "zipf": ZipfPattern,
+}
+
+
+def make_pattern(
+    name: str,
+    n: int,
+    rng: np.random.Generator | None = None,
+    *,
+    stride: int = 8,
+    theta: float = 0.9,
+    row: int = 0,
+):
+    """Instantiate a registered pattern over ``n`` slots."""
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown access pattern {name!r}; choose from {sorted(set(PATTERNS))}"
+        ) from None
+    return cls(n, rng, stride=stride, theta=theta, row=row)
+
+
+# ----------------------------------------------------------------------
+# Phase grammar: "op:pattern[@lo-hi][*weight]" lists
+# ----------------------------------------------------------------------
+
+#: op spellings -> canonical op name.
+_PHASE_OPS = {
+    "write": "write", "w": "write",
+    "read": "read", "r": "read",
+    "trim": "trim", "t": "trim", "discard": "trim",
+    "mixed": "mixed", "mix": "mixed", "rw": "mixed",
+}
+
+
+@dataclass(frozen=True)
+class PatternPhase:
+    """One parsed phase of a pattern-suite program."""
+
+    #: "write", "read", "trim" or "mixed" (mixed draws the op per
+    #: request from the suite's read/trim fractions).
+    op: str
+    #: registered pattern name (see :data:`PATTERNS`).
+    pattern: str
+    #: inclusive zone-index range this phase touches (None = all zones).
+    zones: tuple[int, int] | None = None
+    #: share of the request budget this phase receives.
+    weight: float = 1.0
+
+
+def parse_phases(text: str) -> tuple[PatternPhase, ...]:
+    """Parse a phase program: phases separated by ``|`` or ``,``, each
+    ``op:pattern`` with an optional ``@lo-hi`` zone subset and ``*w``
+    weight — e.g. ``"write:seq | read:snake@0-3 | mixed:zipf*2"``."""
+    tokens = [t.strip() for t in text.replace(",", "|").split("|") if t.strip()]
+    if not tokens:
+        raise ConfigError(f"empty phase program {text!r}")
+    phases = []
+    for token in tokens:
+        phases.append(_parse_phase(token))
+    return tuple(phases)
+
+
+def _parse_phase(token: str) -> PatternPhase:
+    body = token
+    weight = 1.0
+    if "*" in body:
+        body, _, tail = body.partition("*")
+        try:
+            weight = float(tail)
+        except ValueError:
+            raise ConfigError(f"phase {token!r}: bad weight {tail!r}") from None
+        if not weight > 0:
+            raise ConfigError(f"phase {token!r}: weight must be > 0, got {weight:g}")
+    zones: tuple[int, int] | None = None
+    if "@" in body:
+        body, _, tail = body.partition("@")
+        lo, dash, hi = tail.partition("-")
+        try:
+            zones = (int(lo), int(hi) if dash else int(lo))
+        except ValueError:
+            raise ConfigError(
+                f"phase {token!r}: bad zone range {tail!r} (want lo-hi)"
+            ) from None
+        if zones[0] < 0 or zones[1] < zones[0]:
+            raise ConfigError(f"phase {token!r}: bad zone range {tail!r}")
+    op_text, sep, pattern = body.partition(":")
+    if not sep:
+        raise ConfigError(f"phase {token!r} must be op:pattern (e.g. write:seq)")
+    op = _PHASE_OPS.get(op_text.strip().lower())
+    if op is None:
+        raise ConfigError(
+            f"phase {token!r}: unknown op {op_text!r}; "
+            f"choose from {sorted(set(_PHASE_OPS.values()))}"
+        )
+    pattern = pattern.strip().lower()
+    if pattern not in PATTERNS:
+        raise ConfigError(
+            f"phase {token!r}: unknown pattern {pattern!r}; "
+            f"choose from {sorted(set(PATTERNS))}"
+        )
+    return PatternPhase(op=op, pattern=pattern, zones=zones, weight=weight)
 
 
 def choose_weighted(rng: np.random.Generator, weights: dict[str, float]) -> str:

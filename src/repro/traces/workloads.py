@@ -28,7 +28,13 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.traces.record import IORequest, OpType, Trace
-from repro.traces.synthetic import ScrambledZipfian, UniformSampler
+from repro.traces.synthetic import (
+    PatternPhase,
+    ScrambledZipfian,
+    UniformSampler,
+    make_pattern,
+    parse_phases,
+)
 
 _KB = 1024
 _MB = 1024 * 1024
@@ -392,6 +398,128 @@ class UniformWorkload(SyntheticWorkload):
             self._push(OpType.WRITE, offset, self.request_bytes)
 
 
+class PatternSuiteWorkload(SyntheticWorkload):
+    """Programmable workload: a phase list from the pattern algebra.
+
+    The footprint is split into ``num_zones`` equal zones of fixed-size
+    slots; each phase (see :func:`repro.traces.synthetic.parse_phases`)
+    walks a slot pattern over its zone subset with one op class.  The
+    request budget is divided across phases by weight, and every phase
+    boundary jumps the clock by ``barrier_us`` so phases stay disjoint
+    in timed replays.  Examples::
+
+        phases="write:seq | read:snake"        # fill, then sweep-read
+        phases="write:seq | trim:rand*0.5"     # fill, discard half as many
+        phases="mixed:zipf"                    # steady skewed read/write/trim
+    """
+
+    trace_name = "pattern-suite"
+
+    def __init__(
+        self,
+        num_requests: int = 50_000,
+        footprint_bytes: int = 256 * _MB,
+        seed: int = 42,
+        phases: str | tuple[PatternPhase, ...] = "write:seq | mixed:zipf",
+        num_zones: int = 8,
+        request_bytes: int = 16 * _KB,
+        stride: int = 8,
+        zipf_theta: float = 0.9,
+        read_fraction: float = 0.6,
+        trim_fraction: float = 0.1,
+        barrier_us: float = 10_000.0,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(num_requests, footprint_bytes, seed, **kwargs)
+        if num_zones < 1:
+            raise ConfigError(f"num_zones must be >= 1, got {num_zones}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigError(f"read_fraction must be in [0,1], got {read_fraction}")
+        if not 0.0 <= trim_fraction <= 1.0:
+            raise ConfigError(f"trim_fraction must be in [0,1], got {trim_fraction}")
+        if read_fraction + trim_fraction > 1.0 + 1e-9:
+            raise ConfigError(
+                "read_fraction + trim_fraction must be <= 1, got "
+                f"{read_fraction + trim_fraction:g}"
+            )
+        self.phases = parse_phases(phases) if isinstance(phases, str) else tuple(phases)
+        self.num_zones = num_zones
+        self.request_bytes = request_bytes
+        self.stride = stride
+        self.zipf_theta = zipf_theta
+        self.read_fraction = read_fraction
+        self.trim_fraction = trim_fraction
+        self.barrier_us = barrier_us
+        self.slots_per_zone = (footprint_bytes // num_zones) // request_bytes
+        if self.slots_per_zone < 1:
+            raise ConfigError(
+                f"footprint {footprint_bytes} too small for {num_zones} zones "
+                f"of {request_bytes}-byte slots"
+            )
+        for phase in self.phases:
+            if phase.zones is not None and phase.zones[1] >= num_zones:
+                raise ConfigError(
+                    f"phase zones {phase.zones} exceed num_zones={num_zones}"
+                )
+        # Weight-proportional request quotas; the last phase absorbs the
+        # rounding remainder so the budget is spent exactly.
+        total_weight = sum(p.weight for p in self.phases)
+        self._quotas = [
+            int(num_requests * p.weight / total_weight) for p in self.phases
+        ]
+        self._quotas[-1] = num_requests - sum(self._quotas[:-1])
+        self._phase_idx = -1
+        self._emitted_in_phase = 0
+        self._pattern = None
+        self._phase_base = 0
+
+    def _enter_phase(self, idx: int) -> None:
+        phase = self.phases[idx]
+        lo, hi = phase.zones if phase.zones is not None else (0, self.num_zones - 1)
+        n = (hi - lo + 1) * self.slots_per_zone
+        self._phase_base = lo * self.slots_per_zone * self.request_bytes
+        self._pattern = make_pattern(
+            phase.pattern,
+            n,
+            self.rng,
+            stride=self.stride,
+            theta=self.zipf_theta,
+            row=self.slots_per_zone,
+        )
+        self._phase_idx = idx
+        self._emitted_in_phase = 0
+
+    def _phase_op(self, phase: PatternPhase) -> OpType:
+        if phase.op == "write":
+            return OpType.WRITE
+        if phase.op == "read":
+            return OpType.READ
+        if phase.op == "trim":
+            return OpType.TRIM
+        # mixed: one draw decides trim / read / write by the fractions.
+        u = float(self.rng.random())
+        if u < self.trim_fraction:
+            return OpType.TRIM
+        if u < self.trim_fraction + self.read_fraction:
+            return OpType.READ
+        return OpType.WRITE
+
+    def _emit(self) -> None:
+        while (
+            self._phase_idx < 0
+            or self._emitted_in_phase >= self._quotas[self._phase_idx]
+        ):
+            if self._phase_idx + 1 >= len(self.phases):
+                break  # budget rounding: keep emitting from the last phase
+            if self._phase_idx >= 0:
+                self._now_us += self.barrier_us  # phase barrier
+            self._enter_phase(self._phase_idx + 1)
+        phase = self.phases[self._phase_idx]
+        offset = self._phase_base + self._pattern.next() * self.request_bytes
+        self._push(self._phase_op(phase), offset, self.request_bytes)
+        self._emitted_in_phase += 1
+
+
 #: Canonical workload registry: name -> generator class.  This is THE
 #: lookup table — the scenario layer, the memoized replay runner, the
 #: figure cells and the CLI all resolve workload names through it, so a
@@ -400,4 +528,5 @@ WORKLOADS: dict[str, type[SyntheticWorkload]] = {
     "media-server": MediaServerWorkload,
     "web-sql": WebSqlWorkload,
     "uniform": UniformWorkload,
+    "pattern-suite": PatternSuiteWorkload,
 }

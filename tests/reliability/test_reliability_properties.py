@@ -21,7 +21,8 @@ from repro.nand.device import NandDevice
 from repro.nand.spec import tiny_spec
 from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
 from repro.reliability.refresh import RefreshPolicy
-from repro.sim.replay import replay_trace
+from repro.scenario.run import execute_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.traces.workloads import UniformWorkload
 
 _SETTINGS = dict(
@@ -142,13 +143,14 @@ class TestUniformNullModel:
     @pytest.mark.parametrize("ftl_kind", ["conventional", "ppb"])
     def test_null_model_reproduces_baseline_exactly(self, trace, ftl_kind):
         spec = self.spec()
-        baseline = replay_trace(trace, spec, ftl_kind=ftl_kind)
-        nulled = replay_trace(
+        base = ScenarioSpec(device=spec, ftl=ftl_kind, warm_fill_fraction=0.9)
+        baseline = execute_scenario(base, trace)
+        nulled = execute_scenario(
+            base.with_(
+                reliability=ReliabilityConfig.null(),
+                retention_age_s=90 * 86400.0,
+            ),
             trace,
-            spec,
-            ftl_kind=ftl_kind,
-            reliability=ReliabilityConfig.null(),
-            retention_age_s=90 * 86400.0,
         )
         assert nulled.read_us == baseline.read_us
         assert nulled.write_us == baseline.write_us
@@ -161,14 +163,15 @@ class TestUniformNullModel:
     def test_null_model_with_refresh_stays_inert(self, trace):
         """Zero RBER means nothing is ever due for refresh."""
         spec = self.spec()
-        baseline = replay_trace(trace, spec, ftl_kind="conventional")
-        nulled = replay_trace(
+        base = ScenarioSpec(device=spec, ftl="conventional", warm_fill_fraction=0.9)
+        baseline = execute_scenario(base, trace)
+        nulled = execute_scenario(
+            base.with_(
+                reliability=ReliabilityConfig.null(),
+                refresh=True,
+                retention_age_s=90 * 86400.0,
+            ),
             trace,
-            spec,
-            ftl_kind="conventional",
-            reliability=ReliabilityConfig.null(),
-            refresh=True,
-            retention_age_s=90 * 86400.0,
         )
         assert nulled.read_us == baseline.read_us
         assert nulled.erase_count == baseline.erase_count

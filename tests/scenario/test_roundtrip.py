@@ -22,11 +22,64 @@ from repro.scenario.serialize import (
     spec_to_json,
     spec_to_toml,
 )
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
 
 # -- strategies --------------------------------------------------------
 
 finite = st.floats(allow_nan=False, allow_infinity=False)
+
+#: mixed-type workload kwargs: the widened int/float/str/bool contract.
+kwarg_values = st.one_of(
+    st.integers(min_value=0, max_value=1000),
+    st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    st.sampled_from(["write:seq | mixed:zipf", "read:snake", "w:seq,t:rand"]),
+    st.booleans(),
+)
+
+
+def kwargses() -> st.SearchStrategy[dict]:
+    return st.dictionaries(
+        st.sampled_from(["zipf_theta", "read_fraction", "phases", "flag"]),
+        kwarg_values,
+        max_size=2,
+    )
+
+
+def tenant_lists() -> st.SearchStrategy[tuple]:
+    tenant = st.builds(
+        TenantSpec,
+        name=st.just("a"),
+        workload=st.sampled_from(["web-sql", "uniform"]),
+        num_requests=st.integers(min_value=1, max_value=10_000),
+        workload_kwargs=st.dictionaries(
+            st.sampled_from(["zipf_theta", "read_fraction"]),
+            st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+            max_size=1,
+        ),
+        seed=st.integers(min_value=-1, max_value=100),
+        share=st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+    )
+    second = st.builds(
+        TenantSpec,
+        name=st.just("b"),
+        workload=st.sampled_from(["media-server", "uniform"]),
+        num_requests=st.integers(min_value=1, max_value=10_000),
+    )
+    return st.one_of(
+        st.just(()),
+        st.tuples(tenant),
+        st.tuples(tenant, second),
+    )
+
+
+def precondition_lists() -> st.SearchStrategy[tuple]:
+    phase = st.builds(
+        PreconditionPhase,
+        workload=st.sampled_from(["uniform", "web-sql"]),
+        num_requests=st.integers(min_value=1, max_value=50_000),
+        seed=st.integers(min_value=-1, max_value=100),
+    )
+    return st.one_of(st.just(()), st.tuples(phase), st.tuples(phase, phase))
 
 
 def devices() -> st.SearchStrategy[NandSpec]:
@@ -67,11 +120,9 @@ def scenarios() -> st.SearchStrategy[ScenarioSpec]:
         ScenarioSpec,
         workload=st.sampled_from(["web-sql", "media-server", "uniform"]),
         num_requests=st.integers(min_value=1, max_value=200_000),
-        workload_kwargs=st.dictionaries(
-            st.sampled_from(["zipf_theta", "read_fraction"]),
-            st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
-            max_size=2,
-        ),
+        workload_kwargs=kwargses(),
+        tenants=tenant_lists(),
+        precondition=precondition_lists(),
         footprint_fraction=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
         seed=st.integers(min_value=0, max_value=2**31),
         device=devices(),
@@ -172,3 +223,71 @@ class TestBadInput:
     def test_invalid_toml_text(self):
         with pytest.raises(ConfigError, match="TOML"):
             spec_from_toml("= broken =")
+
+    def test_tenants_must_be_a_list(self):
+        with pytest.raises(ConfigError, match="tenants"):
+            spec_from_dict({"tenants": "db"})
+
+    def test_tenant_entry_must_be_a_table(self):
+        with pytest.raises(ConfigError, match=r"tenants\[0\]"):
+            spec_from_dict({"tenants": ["db"]})
+
+    def test_tenant_unknown_key_names_the_indexed_path(self):
+        with pytest.raises(ConfigError, match=r"tenants\[1\]\.shar"):
+            spec_from_dict(
+                {
+                    "tenants": [
+                        {"name": "a"},
+                        {"name": "b", "shar": 2.0},
+                    ]
+                }
+            )
+
+    def test_precondition_unknown_key_names_the_indexed_path(self):
+        with pytest.raises(ConfigError, match=r"precondition\[0\]\.workloda"):
+            spec_from_dict({"precondition": [{"workloda": "uniform"}]})
+
+    def test_kwarg_value_types_enforced(self):
+        with pytest.raises(ConfigError, match="int/float/str/bool"):
+            spec_from_dict({"workload_kwargs": {"phases": [1, 2]}})
+
+
+class TestWidenedKwargs:
+    def test_mixed_types_survive_all_three_formats(self):
+        spec = ScenarioSpec(
+            workload="pattern-suite",
+            workload_kwargs={
+                "phases": "write:seq | trim:rand*0.5",
+                "num_zones": 4,
+                "zipf_theta": 0.95,
+            },
+        )
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+        assert spec_from_json(spec_to_json(spec)) == spec
+        assert spec_from_toml(spec_to_toml(spec)) == spec
+        # types survive exactly: 4 stays int, 0.95 stays float
+        back = spec_from_toml(spec_to_toml(spec))
+        kwargs = dict(back.workload_kwargs)
+        assert kwargs["num_zones"] == 4 and isinstance(kwargs["num_zones"], int)
+        assert isinstance(kwargs["zipf_theta"], float)
+        assert kwargs["phases"] == "write:seq | trim:rand*0.5"
+
+
+def test_tenanted_spec_toml_uses_array_of_tables():
+    spec = ScenarioSpec(
+        tenants=(
+            TenantSpec(name="db", workload="web-sql", num_requests=900),
+            TenantSpec(
+                name="logger",
+                workload="uniform",
+                num_requests=600,
+                workload_kwargs={"read_fraction": 0.05},
+                share=0.5,
+            ),
+        ),
+        precondition=(PreconditionPhase(workload="uniform", num_requests=1000),),
+    )
+    text = spec_to_toml(spec)
+    assert "[[tenants]]" in text
+    assert "[[precondition]]" in text
+    assert spec_from_toml(text) == spec

@@ -17,6 +17,7 @@ SMOKE = ScenarioSpec(
 )
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestEngineEquivalence:
     def test_run_scenario_matches_replay_trace(self):
         """The declarative path and the legacy shim are one engine."""
@@ -64,6 +65,16 @@ class TestEngineEquivalence:
 
         with pytest.raises(ConfigError, match="ScenarioSpec"):
             ReplayRunner().run("not a spec")
+
+    def test_replayspec_warns_with_equivalent_snippet(self):
+        with pytest.warns(DeprecationWarning, match="ReplaySpec is deprecated") as w:
+            ReplaySpec(
+                workload="uniform", num_requests=800, blocks_per_chip=64, ftl="ppb"
+            )
+        message = str(w[0].message)
+        assert "ScenarioSpec(" in message
+        assert "workload='uniform'" in message
+        assert "ftl='ppb'" in message
 
 
 class TestMemoization:

@@ -4,11 +4,12 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.reliability.manager import ReliabilityConfig
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
 from repro.scenario.sweep import (
     SweepAxis,
     axis_values,
     get_path,
+    list_paths,
     parse_scalar,
     parse_set_arg,
     set_path,
@@ -161,3 +162,94 @@ class TestBatchSetPaths:
     def test_sweep_still_rejects_invalid_final_points(self):
         with pytest.raises(ConfigError, match="reread_age_s requires"):
             sweep(ScenarioSpec(), [SweepAxis("reread_age_s", (0.0, 86400.0))])
+
+
+#: two-tenant base for the list-path tests.
+TENANTED = ScenarioSpec(
+    tenants=(
+        TenantSpec(name="db", workload="web-sql", num_requests=900),
+        TenantSpec(name="logger", workload="uniform", num_requests=600, share=0.5),
+    ),
+    precondition=(PreconditionPhase(workload="uniform", num_requests=1000),),
+)
+
+
+class TestTenantPaths:
+    def test_get_by_index_and_by_name(self):
+        assert get_path(TENANTED, "tenants.0.num_requests") == 900
+        assert get_path(TENANTED, "tenants.logger.share") == 0.5
+        assert get_path(TENANTED, "precondition.0.num_requests") == 1000
+
+    def test_set_by_name_rebuilds_the_tuple(self):
+        swept = set_path(TENANTED, "tenants.logger.share", 2.0)
+        assert swept.tenants[1].share == 2.0
+        assert swept.tenants[0] == TENANTED.tenants[0]  # untouched
+        assert TENANTED.tenants[1].share == 0.5  # original intact
+
+    def test_set_by_index(self):
+        swept = set_path(TENANTED, "tenants.0.num_requests", 50)
+        assert swept.tenants[0].num_requests == 50
+
+    def test_tenant_kwargs_path(self):
+        swept = set_path(TENANTED, "tenants.logger.workload_kwargs.read_fraction", 0.2)
+        assert dict(swept.tenants[1].workload_kwargs) == {"read_fraction": 0.2}
+        assert get_path(swept, "tenants.logger.workload_kwargs.read_fraction") == 0.2
+
+    def test_sweep_over_a_tenant_axis(self):
+        grid = sweep(
+            TENANTED, [SweepAxis("tenants.logger.num_requests", (100, 200, 300))]
+        )
+        assert [s.tenants[1].num_requests for s in grid] == [100, 200, 300]
+        # the device and the other tenant are shared across points
+        assert all(s.tenants[0] == TENANTED.tenants[0] for s in grid)
+
+    def test_unknown_tenant_name_lists_the_choices(self):
+        with pytest.raises(ConfigError, match="db.*logger|logger.*db"):
+            get_path(TENANTED, "tenants.nope.share")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            get_path(TENANTED, "tenants.5.share")
+
+    def test_cannot_set_a_whole_tenant(self):
+        with pytest.raises(ConfigError, match="config section"):
+            set_path(TENANTED, "tenants.0", 2.0)
+
+    def test_unknown_tenant_field_names_the_path(self):
+        with pytest.raises(ConfigError, match="shar"):
+            set_path(TENANTED, "tenants.db.shar", 2.0)
+
+    def test_set_revalidates_tenant_invariants(self):
+        with pytest.raises(ConfigError, match="share"):
+            set_path(TENANTED, "tenants.db.share", -1.0)
+
+
+class TestListPaths:
+    def test_plain_spec_covers_the_flat_fields(self):
+        rows = list_paths(ScenarioSpec())
+        paths = [path for path, _, _ in rows]
+        assert "seed" in paths
+        assert "device.speed_ratio" in paths
+        assert "reliability.base_rber" in paths  # absent section: defaults
+        # placeholders mark the open-ended families
+        assert any(p.startswith("workload_kwargs.") for p in paths)
+        assert any(p.startswith("tenants.") for p in paths)
+
+    def test_tenanted_spec_enumerates_per_tenant_paths(self):
+        rows = list_paths(TENANTED)
+        paths = [path for path, _, _ in rows]
+        assert "tenants.db.num_requests" in paths
+        assert "tenants.logger.share" in paths
+        assert "precondition.0.num_requests" in paths
+
+    def test_every_concrete_path_round_trips_through_get(self):
+        for path, _, _ in list_paths(TENANTED):
+            if "<" in path:
+                continue  # placeholder rows are documentation, not paths
+            get_path(TENANTED, path)  # must not raise
+
+    def test_rows_carry_type_and_default(self):
+        rows = {path: (kind, default) for path, kind, default in list_paths(TENANTED)}
+        kind, default = rows["tenants.logger.share"]
+        assert "float" in kind
+        assert "0.5" in str(default)

@@ -36,7 +36,10 @@ class TestMakeFtl:
             make_ftl("bogus", NandDevice(tiny_spec()))
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestReplayTrace:
+    """The shim keeps working (these tests ARE its deprecation period)."""
+
     @pytest.mark.parametrize("kind", ["conventional", "fast", "ppb"])
     def test_end_to_end(self, small_trace, kind):
         result = replay_trace(small_trace, tiny_spec(), ftl_kind=kind)
@@ -60,3 +63,20 @@ class TestReplayTrace:
         assert a.read_us == b.read_us
         assert a.write_us == b.write_us
         assert a.erase_count == b.erase_count
+
+
+class TestDeprecation:
+    def test_replay_trace_warns_with_equivalent_spec(self, small_trace):
+        with pytest.warns(DeprecationWarning, match="replay_trace is deprecated"):
+            replay_trace(small_trace, tiny_spec(), ftl_kind="ppb")
+
+    def test_warning_spells_out_the_scenario_spec(self, small_trace):
+        with pytest.warns(DeprecationWarning) as caught:
+            replay_trace(small_trace, tiny_spec(), ftl_kind="ppb", mode="timed")
+        message = str(caught[0].message)
+        # The snippet is pasteable: names the engine and the non-default
+        # fields of the equivalent spec.
+        assert "execute_scenario" in message
+        assert "ScenarioSpec(" in message
+        assert "ftl='ppb'" in message
+        assert "mode='timed'" in message

@@ -221,6 +221,60 @@ class TestScenario:
         assert "reread_age_s" in out
         assert "aged rd (us/pg)" in out
 
+    def test_committed_multi_tenant_runs_at_smoke_scale(self, capsys):
+        """The headline multi-tenant sweep, clamped to CI size."""
+        code = main(
+            [
+                "scenario", "run",
+                "examples/scenarios/multi_tenant.toml",
+                "--smoke",
+                "--set", "arrival_scale=4.0",
+                "--set", "tenants.logger.workload_kwargs.read_fraction=0.05,0.95",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        # per-tenant percentile columns made it into the sweep table
+        assert "db p50" in out and "db p99" in out
+        assert "logger p50" in out and "logger p99" in out
+
+    def test_tenant_budgets_clamped_by_smoke(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "[device]\nblocks_per_chip = 64\n"
+            '[[tenants]]\nname = "a"\nworkload = "uniform"\nnum_requests = 90000\n'
+            '[[tenants]]\nname = "b"\nworkload = "uniform"\nnum_requests = 90000\n',
+        )
+        assert main(["scenario", "run", path, "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "1500 requests" in out  # 2 x 750, not 2 x 90000
+
+
+class TestScenarioPaths:
+    def test_lists_sweepable_paths(self, capsys):
+        assert main(["scenario", "paths"]) == 0
+        out = capsys.readouterr().out
+        for path in ("workload", "device.speed_ratio", "reliability.base_rber"):
+            assert path in out
+        assert "sweepable paths" in out
+
+    def test_spec_file_adds_tenant_paths(self, capsys):
+        code = main(
+            [
+                "scenario", "paths",
+                "--spec", "examples/scenarios/multi_tenant.toml",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenants.db.num_requests" in out
+        assert "tenants.logger.share" in out
+        assert "precondition.0.num_requests" in out
+
+    def test_bad_spec_file_reports_cleanly(self, capsys):
+        assert main(["scenario", "paths", "--spec", "/nonexistent.toml"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
 
 class TestGenericSweep:
     def test_sweep_from_defaults(self, capsys):

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.bench.memo import ReplayRunner, ReplaySpec
+from repro.bench.memo import ReplayRunner
 from repro.bench.perf import (
     FULL_PERF,
     SMOKE_PERF,
@@ -20,9 +20,13 @@ from repro.bench.perf import (
 )
 from repro.cli import main
 from repro.errors import ConfigError
+from repro.nand.spec import sim_spec
+from repro.scenario.spec import ScenarioSpec
 
 #: A tiny spec so the harness tests replay in milliseconds.
-TINY = ReplaySpec(workload="web-sql", num_requests=400, blocks_per_chip=48)
+TINY = ScenarioSpec(
+    workload="web-sql", num_requests=400, device=sim_spec(blocks_per_chip=48)
+)
 
 
 def tiny_cases() -> list[PerfCase]:

@@ -2,13 +2,15 @@
 
 import pytest
 
-from repro.bench.memo import ReplayRunner, ReplaySpec
+from repro.bench.memo import ReplayRunner
 from repro.bench.placement import (
     PlacementPoint,
     PlacementSweepSpec,
     run_placement_sweep,
 )
 from repro.errors import ConfigError
+from repro.nand.spec import sim_spec
+from repro.scenario.spec import ScenarioSpec
 
 #: One tiny sweep shared by the whole module (the expensive part).
 SMOKE = PlacementSweepSpec(
@@ -80,7 +82,9 @@ class TestMemoization:
 class TestReplayRunner:
     def test_spec_hashable_and_memoized(self):
         runner = ReplayRunner()
-        spec = ReplaySpec(num_requests=300, blocks_per_chip=64)
+        spec = ScenarioSpec(
+            num_requests=300, device=sim_spec(blocks_per_chip=64)
+        )
         first = runner.run(spec)
         again = runner.run(spec)
         assert first is again
@@ -89,7 +93,7 @@ class TestReplayRunner:
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(ConfigError):
-            ReplaySpec(workload="nope")
+            ScenarioSpec(workload="nope")
 
 
 class TestSweepValidation:

@@ -1,4 +1,4 @@
-"""Tests for the Zipfian and uniform samplers."""
+"""Tests for the samplers and the access-pattern algebra."""
 
 import numpy as np
 import pytest
@@ -6,11 +6,18 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError
 from repro.traces.synthetic import (
+    PatternPhase,
+    RandomPattern,
     ScrambledZipfian,
+    SequentialPattern,
+    SnakePattern,
+    StridePattern,
     UniformSampler,
     ZipfianGenerator,
     choose_weighted,
     fnv1a_64,
+    make_pattern,
+    parse_phases,
 )
 
 
@@ -112,3 +119,87 @@ class TestHelpers:
     def test_choose_weighted_rejects_negative(self):
         with pytest.raises(ConfigError):
             choose_weighted(np.random.default_rng(0), {"a": -1.0})
+
+
+def walk(pattern, count):
+    return [pattern.next() for _ in range(count)]
+
+
+class TestPatterns:
+    def test_sequential_wraps(self):
+        assert walk(SequentialPattern(4), 6) == [0, 1, 2, 3, 0, 1]
+
+    def test_snake_reverses_odd_rows(self):
+        # rows of 3 over 9 slots: 0,1,2 then 5,4,3 then 6,7,8
+        assert walk(SnakePattern(9, row=3), 9) == [0, 1, 2, 5, 4, 3, 6, 7, 8]
+
+    def test_snake_short_last_row_clamps(self):
+        # 7 slots, rows of 3: last (reversed) row is just 6
+        assert walk(SnakePattern(7, row=3), 7) == [0, 1, 2, 5, 4, 3, 6]
+
+    def test_stride_covers_all_slots(self):
+        seen = walk(StridePattern(10, stride=3), 10)
+        assert sorted(seen) == list(range(10))
+
+    def test_stride_visits_every_strideth_slot_first(self):
+        assert walk(StridePattern(12, stride=4), 3) == [0, 4, 8]
+
+    @pytest.mark.parametrize("name", ["seq", "rand", "stride", "snake", "zipf"])
+    def test_every_pattern_stays_in_range(self, name):
+        pattern = make_pattern(name, 37, np.random.default_rng(0), row=5)
+        assert all(0 <= slot < 37 for slot in walk(pattern, 200))
+
+    def test_aliases_resolve(self):
+        assert isinstance(make_pattern("sequential", 4, None), SequentialPattern)
+        rng = np.random.default_rng(0)
+        assert isinstance(make_pattern("random", 4, rng), RandomPattern)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError, match="unknown access pattern"):
+            make_pattern("spiral", 10, None)
+
+    @pytest.mark.parametrize("cls", [SequentialPattern, SnakePattern, StridePattern])
+    def test_bad_n_rejected(self, cls):
+        with pytest.raises(ConfigError):
+            cls(0)
+
+
+class TestPhaseGrammar:
+    def test_single_phase(self):
+        (phase,) = parse_phases("write:seq")
+        assert phase == PatternPhase(op="write", pattern="seq")
+
+    def test_full_program(self):
+        phases = parse_phases("write:seq | read:snake@0-3 | mixed:zipf*2")
+        assert [p.op for p in phases] == ["write", "read", "mixed"]
+        assert phases[1].zones == (0, 3)
+        assert phases[2].weight == 2.0
+
+    def test_comma_separator_and_aliases(self):
+        phases = parse_phases("w:seq, t:rand, rw:zipf")
+        assert [p.op for p in phases] == ["write", "trim", "mixed"]
+
+    def test_single_zone_shorthand(self):
+        (phase,) = parse_phases("read:seq@2")
+        assert phase.zones == (2, 2)
+
+    def test_discard_alias(self):
+        (phase,) = parse_phases("discard:rand")
+        assert phase.op == "trim"
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            ("", "empty phase program"),
+            ("write", "must be op:pattern"),
+            ("fly:seq", "unknown op"),
+            ("write:spiral", "unknown pattern"),
+            ("write:seq*zero", "bad weight"),
+            ("write:seq*-1", "weight must be > 0"),
+            ("write:seq@x-y", "bad zone range"),
+            ("write:seq@3-1", "bad zone range"),
+        ],
+    )
+    def test_bad_programs_name_the_token(self, bad, match):
+        with pytest.raises(ConfigError, match=match):
+            parse_phases(bad)

@@ -9,8 +9,11 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.traces.stats import characterize
+from repro.traces.record import OpType
 from repro.traces.workloads import (
+    WORKLOADS,
     MediaServerWorkload,
+    PatternSuiteWorkload,
     SyntheticWorkload,
     UniformWorkload,
     WebSqlWorkload,
@@ -134,3 +137,81 @@ class TestBaseValidation:
     def test_timestamps_monotone(self, web_trace):
         stamps = [r.timestamp_us for r in web_trace]
         assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+
+class TestPatternSuite:
+    def make(self, **kw):
+        kw.setdefault("num_requests", 1000)
+        kw.setdefault("footprint_bytes", 64 * _MB)
+        return PatternSuiteWorkload(**kw)
+
+    def test_registered(self):
+        assert WORKLOADS["pattern-suite"] is PatternSuiteWorkload
+
+    def test_exact_request_count_with_weights(self):
+        trace = self.make(phases="write:seq | read:rand*0.3 | mixed:zipf*1.7").generate()
+        assert len(trace) == 1000
+
+    def test_quotas_follow_weights(self):
+        workload = self.make(phases="write:seq*3 | read:rand")
+        assert workload._quotas == [750, 250]
+
+    def test_pure_phases_emit_one_op_class(self):
+        trace = self.make(phases="write:seq | read:seq | trim:seq").generate()
+        ops = [r.op for r in trace]
+        third = len(trace) // 3
+        assert set(ops[:third]) == {OpType.WRITE}
+        assert set(ops[third:2 * third]) == {OpType.READ}
+        assert set(ops[2 * third:]) == {OpType.TRIM}
+
+    def test_sequential_phase_walks_the_footprint(self):
+        workload = self.make(phases="write:seq", num_zones=1)
+        trace = workload.generate()
+        step = workload.request_bytes
+        offsets = [r.offset for r in trace]
+        assert offsets[:4] == [0, step, 2 * step, 3 * step]
+
+    def test_zone_subset_bounds_offsets(self):
+        workload = self.make(phases="write:rand@2-3", num_zones=4)
+        trace = workload.generate()
+        zone_bytes = workload.slots_per_zone * workload.request_bytes
+        for req in trace:
+            assert 2 * zone_bytes <= req.offset < 4 * zone_bytes
+
+    def test_phase_barrier_jumps_the_clock(self):
+        workload = self.make(phases="write:seq | read:seq", barrier_us=1e6)
+        trace = workload.generate()
+        stamps = [r.timestamp_us for r in trace]
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert max(gaps) >= 1e6  # exactly one barrier in the stream
+        assert sum(1 for g in gaps if g >= 1e6) == 1
+
+    def test_mixed_phase_draws_all_three_ops(self):
+        trace = self.make(
+            phases="mixed:zipf", read_fraction=0.5, trim_fraction=0.2
+        ).generate()
+        ops = {r.op for r in trace}
+        assert ops == {OpType.READ, OpType.WRITE, OpType.TRIM}
+
+    def test_deterministic_per_seed(self):
+        a = self.make(seed=5).generate()
+        b = self.make(seed=5).generate()
+        assert [(r.op, r.offset) for r in a] == [(r.op, r.offset) for r in b]
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(num_zones=0),
+            dict(read_fraction=1.2),
+            dict(trim_fraction=-0.1),
+            dict(read_fraction=0.7, trim_fraction=0.5),
+            dict(phases="write:seq@0-9", num_zones=4),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            self.make(**kw)
+
+    def test_footprint_too_small_for_zones(self):
+        with pytest.raises(ConfigError, match="too small"):
+            self.make(footprint_bytes=16 * _MB, num_zones=2048)
