@@ -37,6 +37,7 @@ from repro.bench.memo import ReplayRunner, ReplaySpec, _as_scenario
 from repro.bench.placement import default_placement_reliability
 from repro.errors import ConfigError
 from repro.ftl.transmap import MappingConfig
+from repro.reliability.faults import FaultSpec
 from repro.nand.spec import sim_spec
 from repro.reliability.retention import SECONDS_PER_HOUR
 from repro.scenario.run import execute_scenario
@@ -192,6 +193,32 @@ def perf_cases(scale: PerfScale) -> list[PerfCase]:
                     num_chips=4,
                     num_channels=2,
                 ),
+                mode="timed",
+                queue_depth=64,
+                arrival_scale=8.0,
+            ),
+        )
+    )
+    # The reliability-QoS loop under the gate: state-aware errors, a
+    # deterministic mixed fault storm, holds-aware refresh triage and
+    # queued driver recovery, all through the channel-parallel engine.
+    cases.append(
+        PerfCase(
+            "reliability/fault-injection",
+            ScenarioSpec(
+                workload="web-sql",
+                num_requests=scale.num_requests,
+                device=sim_spec(
+                    blocks_per_chip=max(24, scale.blocks_per_chip // 4),
+                    num_chips=4,
+                    num_channels=2,
+                ),
+                reliability=default_placement_reliability().replace(
+                    state_skew=2.0, randomizer=0.5, refresh_triage="holds"
+                ),
+                refresh=True,
+                retention_age_s=24.0 * SECONDS_PER_HOUR,
+                faults=FaultSpec(rate=0.005, burst=4, target="mixed"),
                 mode="timed",
                 queue_depth=64,
                 arrival_scale=8.0,

@@ -27,7 +27,11 @@ from typing import TYPE_CHECKING
 
 from repro.errors import OutOfSpaceError
 from repro.ftl.blockinfo import BlockManager, chip_striped_order
-from repro.ftl.gc import GreedyVictimPolicy, VictimPolicy
+from repro.ftl.gc import (
+    GreedyVictimPolicy,
+    ReliabilityAwareGreedyPolicy,
+    VictimPolicy,
+)
 from repro.ftl.mapping import UNMAPPED, PageMapTable
 from repro.ftl.reliability_hooks import ReliabilityHost
 from repro.ftl.stats import FtlStats
@@ -83,7 +87,7 @@ class BaseFTL(ReliabilityHost):
             ),
         )
         self.stats = FtlStats()
-        self.victim_policy = victim_policy or GreedyVictimPolicy()
+        self.victim_policy = victim_policy or self._default_victim_policy()
         default_low = max(4, self.spec.total_blocks // 64)
         self.gc_low_blocks = gc_low_blocks if gc_low_blocks is not None else default_low
         self.gc_high_blocks = (
@@ -338,6 +342,23 @@ class BaseFTL(ReliabilityHost):
     def _refresh_headroom(self) -> int:
         """Refresh never eats into the GC reserve."""
         return self.gc_low_blocks
+
+    def _held_pages(self, pbn: int) -> list[int]:
+        """In-block indices of ``pbn``'s live pages (holds-aware triage)."""
+        base = pbn * self._ppb
+        return [
+            ppn - base
+            for ppn in self.map.valid_ppns_in(self.geometry.ppn_range_of_pbn(pbn))
+        ]
+
+    def _default_victim_policy(self) -> VictimPolicy:
+        """Greedy, or reliability-aware greedy when the stack asks for it."""
+        reliability = self.reliability
+        if reliability is not None and reliability.config.gc_risk_weight > 0.0:
+            return ReliabilityAwareGreedyPolicy(
+                reliability, reliability.config.gc_risk_weight
+            )
+        return GreedyVictimPolicy()
 
     # ------------------------------------------------------------------
     # Subclass contract

@@ -276,6 +276,15 @@ class DFTL(ConventionalFTL):
             active.add(self._trans_active)
         return active
 
+    def _held_pages(self, pbn: int) -> "list[int] | None":
+        # Translation pages live in the GTD, not the host map, so
+        # BaseFTL's map-based enumeration would return [] and the holds
+        # triage would wrongly never refresh a rotting translation
+        # block.  "Unknown" keeps the worst-page prediction for them.
+        if self.blocks.klass_of(pbn) == TRANS_KLASS:
+            return None
+        return super()._held_pages(pbn)
+
     def _on_block_full(self, pbn: int) -> None:
         super()._on_block_full(pbn)
         if pbn == self._trans_active:

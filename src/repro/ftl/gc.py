@@ -7,6 +7,9 @@ when no eligible victim exists.
 
 * :class:`GreedyVictimPolicy` — minimum valid pages; what the paper's
   conventional baseline and PPB both use.
+* :class:`ReliabilityAwareGreedyPolicy` — greedy biased toward blocks
+  the reliability stack predicts retries for (the reliability-QoS
+  loop: GC doubles as refresh for rotting blocks).
 * :class:`CostBenefitVictimPolicy` — Kawaguchi-style
   ``benefit/cost = age * (1-u) / 2u``; provided for ablations.
 * :class:`RandomVictimPolicy` — uniform choice; a worst-case control.
@@ -14,9 +17,14 @@ when no eligible victim exists.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.ftl.blockinfo import BlockManager, BlockState
+
+if TYPE_CHECKING:  # imported lazily to keep repro.ftl free of cycles
+    from repro.reliability.manager import ReliabilityManager
 
 #: int view of FULL for the greedy policy's per-GC scan.
 _FULL_STATE = int(BlockState.FULL)
@@ -94,6 +102,62 @@ class GreedyVictimPolicy(VictimPolicy):
                     if valid < best_valid:
                         best_valid = valid
                         best_pbn = pbn
+        return best_pbn if best_pbn >= 0 else None
+
+
+class ReliabilityAwareGreedyPolicy(VictimPolicy):
+    """Greedy valid-count selection biased toward at-risk blocks.
+
+    Folds the reliability stack's retention predictions and disturb
+    counters into victim scoring: each predicted retry step of a FULL
+    block (plus one for a predicted uncorrectable) subtracts ``weight``
+    from its effective valid count, so GC preferentially reclaims
+    rotting blocks.  Every collection restamps the victim data's
+    retention clock, so pulling at-risk blocks forward is a *free*
+    refresh — it measurably lowers the refresh engine's own copy work.
+
+    The risk query rides the manager's O(1) safe-deadline cache:
+    provably-safe blocks score exactly like plain greedy, and with
+    ``weight == 0`` the policy *is* plain greedy (same first-hit
+    tie-break).  Wired automatically by BaseFTL when
+    ``reliability.gc_risk_weight > 0``.
+    """
+
+    name = "reliability-greedy"
+
+    def __init__(self, manager: "ReliabilityManager", weight: float) -> None:
+        self.manager = manager
+        self.weight = float(weight)
+
+    def select(
+        self,
+        blocks: BlockManager,
+        exclude: set[int] | None = None,
+        now: float = 0.0,
+        klass: int | None = None,
+    ) -> int | None:
+        manager = self.manager
+        weight = self.weight
+        valid_count = blocks.valid_count
+        klasses = blocks.klass if klass is not None else None
+        best_pbn = -1
+        best_score = float("inf")
+        for pbn, state in enumerate(blocks.state):
+            if state != _FULL_STATE:
+                continue
+            if klasses is not None and klasses[pbn] != klass:
+                continue
+            if exclude and pbn in exclude:
+                continue
+            if manager.worst_page_is_safe(pbn):
+                risk = 0
+            else:
+                steps, uncorrectable = manager.predicted_block_retries(pbn)
+                risk = steps + 1 if uncorrectable else steps
+            score = valid_count[pbn] - weight * risk
+            if score < best_score:
+                best_score = score
+                best_pbn = pbn
         return best_pbn if best_pbn >= 0 else None
 
 

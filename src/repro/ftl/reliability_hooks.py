@@ -98,16 +98,28 @@ class ReliabilityHost:
         Any retry is also reported against the device op log
         (:meth:`~repro.nand.device.NandDevice.note_retry`) so the timed
         replay mode attributes the re-sensing and re-transfer to the
-        chip/channel that performed it.  THE single definition of retry
-        accounting — both host read paths (BaseFTL and FastFTL) call
-        here, so they cannot drift apart.
+        chip/channel that performed it.  An uncorrectable read's
+        driver-recovery share is split out and reported as a queued
+        recovery op (:meth:`~repro.nand.device.NandDevice.note_recovery`)
+        that occupies every chip — not folded into the page's retry
+        segment.  THE single definition of retry accounting — both host
+        read paths (BaseFTL and FastFTL) call here, so they cannot
+        drift apart.
         """
         reliability = self.reliability
         if reliability is None:
             return 0.0
         retry_us = reliability.on_host_read(ppn)
         if retry_us:
-            self.device.note_retry(ppn, retry_us)
+            device = self.device
+            recovery_us = reliability.consume_recovery_us()
+            if recovery_us:
+                ladder_us = retry_us - recovery_us
+                if ladder_us > 0.0:
+                    device.note_retry(ppn, ladder_us)
+                device.note_recovery(ppn, recovery_us)
+            else:
+                device.note_retry(ppn, retry_us)
         return retry_us
 
     def _reliability_note_program(self, pbn: int) -> None:
@@ -154,7 +166,9 @@ class ReliabilityHost:
         if not refresh.is_check_due(self._op_sequence):
             return 0.0
         total = 0.0
-        for pbn in refresh.due_blocks(self.blocks, exclude=self._active_blocks()):
+        for pbn in refresh.due_blocks(
+            self.blocks, exclude=self._active_blocks(), holds=self._held_pages
+        ):
             # Never refresh into space pressure: reclamation must keep
             # priority over background work, or refresh could trigger
             # GC/merge storms.
@@ -180,6 +194,17 @@ class ReliabilityHost:
     def _active_blocks(self) -> set[int]:
         """Blocks currently OPEN for writing (never refresh victims)."""
         raise NotImplementedError
+
+    def _held_pages(self, pbn: int) -> "list[int] | None":
+        """In-block page indices of ``pbn`` that hold live data.
+
+        ``None`` means "unknown" — the holds-aware refresh triage then
+        falls back to the worst-physical-page prediction for this
+        block.  FTLs with an inverted/valid map override this (BaseFTL
+        does); designs that cannot enumerate live pages cheaply (FAST's
+        log blocks) keep the conservative default.
+        """
+        return None
 
     def _refresh_headroom(self) -> int:
         """Free-block floor refresh must not eat into (default: 1)."""

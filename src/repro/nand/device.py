@@ -95,6 +95,31 @@ class NandDevice:
                 )
             )
 
+    def note_recovery(self, ppn: int, recovery_us: float) -> None:
+        """Report driver-level uncorrectable-read recovery as device work.
+
+        Models the superpage-RAID rebuild a real driver runs when ECC
+        gives up on ``ppn``: the stripe's pages are re-read from *every*
+        chip, so the recovery latency is split into one equal segment
+        per chip (array/transfer ratio of a retry step on the failing
+        page), occupying all chips and their channel buses in the timed
+        replay instead of silently inflating one host latency.  The
+        total logged busy time equals ``recovery_us`` — exactly what the
+        sequential accounting bills — so the two modes stay consistent.
+        No-op with no log armed.
+        """
+        log = self.oplog
+        if log is None or recovery_us <= 0.0:
+            return
+        num_chips = len(self.chips)
+        page = ppn % self._pages_per_block
+        step_us = self.latency.retry_step_us[page]
+        share = recovery_us / num_chips
+        transfer_share = share * (self._page_transfer_us / step_us)
+        array_share = share - transfer_share
+        for chip in range(num_chips):
+            log.append((chip, array_share, transfer_share))
+
     # ------------------------------------------------------------------
     # Flat-address commands (hot path)
     # ------------------------------------------------------------------

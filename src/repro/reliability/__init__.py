@@ -38,6 +38,17 @@ model that composes with the existing simulator:
     retry count exceeds a budget are migrated (rewritten elsewhere and
     erased), resetting their retention clock.  Pluggable into any
     :class:`~repro.ftl.base.BaseFTL` subclass (conventional and PPB).
+    With ``refresh_triage = "holds"`` the due test re-runs against the
+    pages a block actually *holds* (live data), sparing blocks whose
+    rot sits entirely on dead pages.
+:mod:`repro.reliability.state`
+    STAR-style state-aware error skew: per-page RBER spread from the
+    program-level (cell state) population, damped by an on-chip
+    state-aware randomizer.  Uniform skew is the exact null model.
+:mod:`repro.reliability.faults`
+    Deterministic fault injection: a counter-based stream of forced
+    uncorrectable reads and full ECC-ladder storms, reproducible under
+    any worker count and byte-identical to baseline at rate 0.
 
 The benchmark scenario over this package lives in
 :mod:`repro.bench.reliability` and is exposed as the ``reliability``
@@ -48,6 +59,7 @@ from __future__ import annotations
 
 from repro.reliability.disturb import ReadDisturbModel
 from repro.reliability.ecc import EccModel
+from repro.reliability.faults import FAULT_TARGETS, FaultInjector, FaultSpec
 from repro.reliability.manager import (
     ReliabilityConfig,
     ReliabilityManager,
@@ -55,16 +67,21 @@ from repro.reliability.manager import (
 )
 from repro.reliability.refresh import RefreshPolicy
 from repro.reliability.retention import RetentionModel
+from repro.reliability.state import StateAwareModel
 from repro.reliability.variation import VARIATION_PROFILES, VariationModel
 
 __all__ = [
     "EccModel",
+    "FAULT_TARGETS",
+    "FaultInjector",
+    "FaultSpec",
     "ReadDisturbModel",
     "RefreshPolicy",
     "ReliabilityConfig",
     "ReliabilityManager",
     "ReliabilityStats",
     "RetentionModel",
+    "StateAwareModel",
     "VARIATION_PROFILES",
     "VariationModel",
 ]

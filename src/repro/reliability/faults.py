@@ -1,0 +1,142 @@
+"""Deterministic fault injection: uncorrectable reads and ECC-ladder storms.
+
+The reliability model only produces uncorrectable reads when the
+physics say so — which, on a healthy device, is (correctly) almost
+never.  Robustness questions need the opposite: *given* that faults
+happen, what do they do to tail latency and refresh pressure under
+load?  :class:`FaultSpec` declares a fault process on a scenario and
+:class:`FaultInjector` realizes it, inside
+:meth:`~repro.reliability.manager.ReliabilityManager.on_host_read`, so
+injected faults take the exact same accounting and op-log paths as
+model-driven ones — in timed mode the retry ladder occupies the chip
+and channel bus, and driver-level recovery queues as device work.
+
+Determinism
+-----------
+The injector draws from its own counter-based splitmix64 stream (keyed
+on ``FaultSpec.seed``, independent of every other RNG in the
+simulator), and event gaps are inverse-transform geometric samples:
+whether read *N* faults depends only on the spec and on N.  Replays are
+therefore bit-identical across runs, platforms, and
+``ReplayRunner(workers=N)`` process pools — and a spec with
+``rate = 0`` never constructs an injector at all, keeping baseline runs
+byte-identical (the property the tests pin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.reliability.state import _mix64
+
+#: fault classes an injected event may carry.
+#:
+#: ``"uncorrectable"`` — the ECC burns its full retry budget and still
+#: fails; driver-level recovery is charged (and, in timed mode, queued).
+#: ``"storm"`` — a transient full ladder walk that *does* decode: the
+#: worst correctable read (media glitch, program interference burst).
+#: ``"mixed"`` — each event draws one of the two, 50/50.
+FAULT_TARGETS = ("uncorrectable", "storm", "mixed")
+
+_KEY_SEED = 0xD6E8FEB86659FD93
+_KEY_DRAW = 0xA5A5A5A5A5A5A5A5
+_MASK64 = (1 << 64) - 1
+_INV64 = 1.0 / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The fault process of one scenario, serialized and sweepable."""
+
+    #: probability that a host read starts a fault event (0 disables —
+    #: and is byte-identical to carrying no FaultSpec at all).
+    rate: float = 0.0
+    #: consecutive faulted reads per event (a burst models a marginal
+    #: wordline that fails repeatedly until refreshed or rewritten).
+    burst: int = 1
+    #: dedicated stream seed — independent of the workload seed, so the
+    #: same fault schedule can be replayed against different traffic.
+    seed: int = 1337
+    #: fault class of injected events (see :data:`FAULT_TARGETS`).
+    target: str = "uncorrectable"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"faults.rate must be in [0, 1], got {self.rate}")
+        if self.burst < 1:
+            raise ConfigError(f"faults.burst must be >= 1, got {self.burst}")
+        if self.seed < 0:
+            raise ConfigError(f"faults.seed must be >= 0, got {self.seed}")
+        if self.target not in FAULT_TARGETS:
+            raise ConfigError(
+                f"faults.target must be one of {FAULT_TARGETS}, got {self.target!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec injects anything at all."""
+        return self.rate > 0.0
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return f"faults(rate={self.rate:g}, burst={self.burst}, {self.target})"
+
+
+class FaultInjector:
+    """Realizes one :class:`FaultSpec` as a deterministic read schedule."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        if not spec.enabled:
+            raise ConfigError("FaultInjector needs a FaultSpec with rate > 0")
+        self.spec = spec
+        self._draws = 0
+        self._reads = 0
+        self._burst_left = 0
+        self._burst_kind = ""
+        self._next_at = self._gap()
+
+    # ------------------------------------------------------------------
+
+    def _uniform(self) -> float:
+        """Next draw of the injector's own counter-based stream."""
+        self._draws += 1
+        key = ((self.spec.seed * _KEY_SEED) ^ (self._draws * _KEY_DRAW)) & _MASK64
+        return _mix64(key) * _INV64
+
+    def _gap(self) -> int:
+        """Reads until the next event: geometric(rate), inverse-transform."""
+        rate = self.spec.rate
+        if rate >= 1.0:
+            return 1
+        u = self._uniform()
+        return int(math.log1p(-u) / math.log1p(-rate)) + 1
+
+    def _kind(self) -> str:
+        """Fault class of one event."""
+        target = self.spec.target
+        if target == "mixed":
+            return "uncorrectable" if self._uniform() < 0.5 else "storm"
+        return target
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> str | None:
+        """Called once per examined host read; the fault class, or None.
+
+        Burst continuations repeat the event's class and do not advance
+        the inter-event counter, so the *gap between events* is measured
+        in clean reads regardless of burst length.
+        """
+        if self._burst_left:
+            self._burst_left -= 1
+            return self._burst_kind
+        self._reads += 1
+        if self._reads < self._next_at:
+            return None
+        kind = self._kind()
+        self._burst_kind = kind
+        self._burst_left = self.spec.burst - 1
+        self._next_at = self._reads + self._gap()
+        return kind

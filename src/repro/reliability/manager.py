@@ -42,8 +42,13 @@ from repro.errors import ConfigError
 from repro.nand.device import NandDevice
 from repro.reliability.disturb import ReadDisturbModel
 from repro.reliability.ecc import EccModel
+from repro.reliability.faults import FaultInjector, FaultSpec
 from repro.reliability.retention import RetentionModel
+from repro.reliability.state import StateAwareModel
 from repro.reliability.variation import VariationModel
+
+#: valid values of :attr:`ReliabilityConfig.refresh_triage`.
+REFRESH_TRIAGE_MODES = ("worst", "holds")
 
 #: With read disturb enabled, a block's safe deadline is computed
 #: assuming up to this many further reads of the block; the deadline is
@@ -83,6 +88,14 @@ class ReliabilityConfig:
     #: PR 1 behavior).
     disturb_coeff: float = 0.0
     disturb_exponent: float = 1.0
+    # -- state-aware errors (STAR-style program-level skew) ------------------
+    #: worst/best-state-mix RBER ratio; 1.0 (the default) disables the
+    #: state-aware layer entirely (see repro.reliability.state).
+    state_skew: float = 1.0
+    #: data-randomizer (scrambler) quality in [0, 1]; 1.0 — a perfect
+    #: scrambler, the default — whitens the state mix completely and
+    #: also disables the layer.
+    randomizer: float = 1.0
     # -- ECC / read-retry ---------------------------------------------------
     rber_limit: float = 1e-3
     retry_gain: float = 2.0
@@ -98,10 +111,33 @@ class ReliabilityConfig:
     #: retention age — the read-disturb refresh trigger.  0 disables the
     #: disturb gate (blocks then only qualify by age, as in PR 1).
     refresh_disturb_reads: int = 0
+    #: refresh triage basis: "worst" (the block's worst physical page,
+    #: the PR 1 behavior) or "holds" (the worst page the block actually
+    #: *holds* live data on — fewer refreshes where the hot physical
+    #: pages are invalid).
+    refresh_triage: str = "worst"
+    # -- reliability-QoS loop ------------------------------------------------
+    #: GC victim-score bonus per predicted retry step of a block; > 0
+    #: biases victim selection toward at-risk blocks so collection
+    #: doubles as refresh (0, the default, keeps pure greedy selection).
+    gc_risk_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.base_rber < 0:
             raise ConfigError(f"base_rber must be >= 0, got {self.base_rber}")
+        if self.state_skew < 1.0:
+            raise ConfigError(f"state_skew must be >= 1, got {self.state_skew}")
+        if not 0.0 <= self.randomizer <= 1.0:
+            raise ConfigError(f"randomizer must be in [0, 1], got {self.randomizer}")
+        if self.refresh_triage not in REFRESH_TRIAGE_MODES:
+            raise ConfigError(
+                f"refresh_triage must be one of {REFRESH_TRIAGE_MODES}, "
+                f"got {self.refresh_triage!r}"
+            )
+        if self.gc_risk_weight < 0:
+            raise ConfigError(
+                f"gc_risk_weight must be >= 0, got {self.gc_risk_weight}"
+            )
         if self.uncorrectable_penalty_us < 0:
             raise ConfigError(
                 f"uncorrectable_penalty_us must be >= 0, got {self.uncorrectable_penalty_us}"
@@ -184,7 +220,12 @@ class ReliabilityStats:
 class ReliabilityManager:
     """Composes the reliability models over one device's lifetime."""
 
-    def __init__(self, device: NandDevice, config: ReliabilityConfig | None = None) -> None:
+    def __init__(
+        self,
+        device: NandDevice,
+        config: ReliabilityConfig | None = None,
+        faults: FaultSpec | None = None,
+    ) -> None:
         self.device = device
         self.spec = device.spec
         self.config = config or ReliabilityConfig()
@@ -213,6 +254,23 @@ class ReliabilityManager:
             coeff_per_kread=cfg.disturb_coeff,
             exponent=cfg.disturb_exponent,
         )
+        self.state = StateAwareModel(
+            skew=cfg.state_skew,
+            randomizer=cfg.randomizer,
+            seed=cfg.variation_seed,
+            pages_per_block=self.spec.pages_per_block,
+        )
+        #: hot-path guards: the disabled model must leave every float
+        #: untouched (goldens pin byte-identity of default configs).
+        self._state_enabled = self.state.enabled
+        self._state_worst = self.state.worst_factor()
+        self.faults = faults
+        self._injector = (
+            FaultInjector(faults) if faults is not None and faults.enabled else None
+        )
+        #: driver-recovery share of the last read's penalty; consumed by
+        #: the FTL hook so timed mode can queue it as its own device op.
+        self._recovery_us = 0.0
         total_blocks = self.spec.total_blocks
         #: simulation clock in seconds, advanced by the owning FTL.
         self.now_s = 0.0
@@ -320,6 +378,8 @@ class ReliabilityManager:
         rber = self.config.base_rber * spatial * temporal
         if self.disturb.enabled:
             rber *= self.disturb.factor(self._block_reads[pbn])
+        if self._state_enabled:
+            rber *= self.state.factor(pbn, page_index, self._pe_cycles[pbn])
         return rber
 
     def predicted_block_retries(self, pbn: int) -> tuple[int, bool]:
@@ -331,6 +391,38 @@ class ReliabilityManager:
         )
         if self.disturb.enabled:
             rber *= self.disturb.factor(self._block_reads[pbn])
+        if self._state_enabled:
+            rber *= self._state_worst
+        return self.ecc.retries_needed(rber)
+
+    def predicted_holds_retries(self, pbn: int, pages) -> tuple[int, bool]:
+        """Retry steps the worst page the block *holds* would need now.
+
+        ``pages`` iterates the block's in-block page indices that carry
+        live data; empty means nothing worth refreshing.  Where the
+        worst *physical* page of a block is invalid (its data already
+        rewritten elsewhere), this bound is strictly tighter than
+        :meth:`predicted_block_retries` — the basis of the "holds"
+        refresh triage mode.
+        """
+        page_mult = self._page_mult
+        worst = 0.0
+        for page in pages:
+            mult = page_mult[page]
+            if mult > worst:
+                worst = mult
+        if worst <= 0.0:
+            return 0, False
+        rber = (
+            self.config.base_rber
+            * self._block_mult[pbn]
+            * worst
+            * (self.retention.retention_factor(self.age_of(pbn)) * self._pe_factor[pbn])
+        )
+        if self.disturb.enabled:
+            rber *= self.disturb.factor(self._block_reads[pbn])
+        if self._state_enabled:
+            rber *= self._state_worst
         return self.ecc.retries_needed(rber)
 
     def worst_page_is_safe(self, pbn: int) -> bool:
@@ -361,6 +453,13 @@ class ReliabilityManager:
         stats.checked_reads += 1
         block_reads = self._block_reads
         reads = block_reads[pbn]
+        # Injected faults preempt the model: the read still disturbs its
+        # block, but its penalty comes from the fault class.
+        if self._injector is not None:
+            kind = self._injector.check()
+            if kind is not None:
+                block_reads[pbn] = reads + 1
+                return self._injected_fault(pbn, page, kind)
         # Fast path: inside the block's safe window even the worst page
         # decodes with zero retries, so this page certainly does.
         safe_until = self._safe_until_s[pbn]
@@ -379,6 +478,8 @@ class ReliabilityManager:
         rber = self.config.base_rber * spatial * temporal
         if self.disturb.enabled:
             rber *= self.disturb.factor(reads)
+        if self._state_enabled:
+            rber *= self.state.factor(pbn, page, self._pe_cycles[pbn])
         block_reads[pbn] = reads + 1
         steps, uncorrectable = self.ecc.retries_needed(rber)
         if not steps and not uncorrectable:
@@ -389,9 +490,54 @@ class ReliabilityManager:
             stats.retry_steps += steps
         if uncorrectable:
             stats.uncorrectable_reads += 1
-            extra += self.config.uncorrectable_penalty_us
+            penalty = self.config.uncorrectable_penalty_us
+            extra += penalty
+            if penalty:
+                self._recovery_us = penalty
         stats.retry_us += extra
         return extra
+
+    def _injected_fault(self, pbn: int, page: int, kind: str) -> float:
+        """Penalty (us) of one injected fault; same accounting as the model.
+
+        Both classes walk the full ECC ladder (the worst correctable
+        read); an ``"uncorrectable"`` additionally fails it and charges
+        driver recovery, flagged for :meth:`consume_recovery_us` so the
+        timed engine can queue the recovery as real device work.
+        """
+        stats = self.stats
+        steps = self.ecc.max_retries
+        extra = self.device.latency.retry_read_us(page, steps)
+        if steps:
+            stats.retried_reads += 1
+            stats.retry_steps += steps
+        ex = stats.extra
+        ex["injected.reads"] = ex.get("injected.reads", 0.0) + 1.0
+        if kind == "uncorrectable":
+            stats.uncorrectable_reads += 1
+            ex["injected.uncorrectable"] = ex.get("injected.uncorrectable", 0.0) + 1.0
+            penalty = self.config.uncorrectable_penalty_us
+            extra += penalty
+            if penalty:
+                self._recovery_us = penalty
+        else:
+            ex["injected.storms"] = ex.get("injected.storms", 0.0) + 1.0
+        stats.retry_us += extra
+        return extra
+
+    def consume_recovery_us(self) -> float:
+        """Driver-recovery share of the last read's penalty, then 0.
+
+        The FTL's read hook calls this right after
+        :meth:`on_host_read` returned nonzero: the recovery share is
+        reported to the device as a queued recovery op
+        (:meth:`~repro.nand.device.NandDevice.note_recovery`) instead of
+        inflating the page's retry-ladder segment.
+        """
+        recovery = self._recovery_us
+        if recovery:
+            self._recovery_us = 0.0
+        return recovery
 
     # ------------------------------------------------------------------
     # Safe-deadline bound (the zero-retry fast path)
@@ -431,6 +577,10 @@ class ReliabilityManager:
             * self._pe_factor[pbn]
             * disturb_factor
         )
+        if self._state_enabled:
+            # State skew can only worsen a page up to the worst-mix
+            # factor; folding it in keeps the deadline conservative.
+            static_rber *= self._state_worst
         target = self.ecc.rber_limit * (1.0 - _SAFE_MARGIN)
         if static_rber <= 0.0:
             # Null model (or zero base RBER): never any retries.
@@ -476,10 +626,36 @@ class ReliabilityManager:
         self.stats.refresh_copied_pages += copied_pages
         self.stats.refresh_us += latency_us
 
+    def result_extras(self) -> dict[str, float]:
+        """``RunResult.extra`` entries this stack surfaces.
+
+        Keys appear only for features the run actually carried (fault
+        injection, holds-aware refresh triage), so baseline results —
+        and the goldens that pin them — keep their exact key set.
+        """
+        out: dict[str, float] = {}
+        stats = self.stats
+        extra = stats.extra
+        if self._injector is not None:
+            out["faults.injected_reads"] = extra.get("injected.reads", 0.0)
+            out["faults.injected_uncorrectable"] = extra.get(
+                "injected.uncorrectable", 0.0
+            )
+            out["faults.injected_storms"] = extra.get("injected.storms", 0.0)
+            out["reliability.uncorrectable_reads"] = float(stats.uncorrectable_reads)
+        if self.config.refresh_triage == "holds":
+            out["refresh.triage_skipped_blocks"] = extra.get(
+                "triage.skipped_blocks", 0.0
+            )
+            out["refresh.triage_saved_pages"] = extra.get("triage.saved_pages", 0.0)
+        return out
+
     def describe(self) -> str:
         """One-line summary for logs."""
+        state = f", {self.state.describe()}" if self._state_enabled else ""
+        faults = f", {self.faults.describe()}" if self._injector is not None else ""
         return (
             f"ReliabilityManager(base_rber={self.config.base_rber:.1e}, "
             f"{self.variation.describe()}, {self.retention.describe()}, "
-            f"{self.disturb.describe()}, {self.ecc.describe()})"
+            f"{self.disturb.describe()}, {self.ecc.describe()}{state}{faults})"
         )

@@ -27,8 +27,14 @@ refreshed data on speed-appropriate pages.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable
+
 from repro.ftl.blockinfo import BlockManager
 from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+
+#: the holds callback: in-block page indices with live data, or None
+#: when the FTL cannot enumerate them (falls back to worst-page).
+HoldsFn = Callable[[int], "Iterable[int] | None"]
 
 
 class RefreshPolicy:
@@ -56,6 +62,9 @@ class RefreshPolicy:
         #: reads past which a block qualifies regardless of age (the
         #: read-disturb trigger; 0 disables the gate).
         self.disturb_reads = cfg.refresh_disturb_reads
+        #: triage basis: "worst" physical page, or the pages a block
+        #: actually "holds" (valid-page retry prediction).
+        self.triage = cfg.refresh_triage
         #: op sequence of the last scan (cadence is crossing-based, not
         #: exact-multiple, so ops that bypass the refresh hook — trims,
         #: unmapped reads — can never suppress a scan, only delay it to
@@ -72,30 +81,60 @@ class RefreshPolicy:
         return True
 
     def due_blocks(
-        self, blocks: BlockManager, exclude: set[int] | None = None
+        self,
+        blocks: BlockManager,
+        exclude: set[int] | None = None,
+        holds: HoldsFn | None = None,
     ) -> list[int]:
-        """At-risk FULL blocks, most urgent first, capped per check."""
+        """At-risk FULL blocks, most urgent first, capped per check.
+
+        With ``refresh_triage = "holds"`` and a ``holds`` callback, a
+        block whose *worst physical page* is past the budget but whose
+        worst *live* page is not gets skipped — its rotting pages hold
+        no data anyone will read — and the skip (block + live pages
+        spared a copy) is tallied in the manager's stats extras.
+        """
         candidates = blocks.victim_candidates(exclude)
         if not candidates.size:
             return []
         manager = self.manager
         # With a non-negative budget, a block inside its zero-retry safe
         # window can never be due (steps == 0); the O(1) deadline check
-        # skips the retention exponentials for the healthy majority.
+        # runs first — before the scan gates — so a null-config scan
+        # stays one cached float comparison per block instead of
+        # re-deriving predicted_block_retries for already-safe blocks.
         fast_skip = self.retry_budget >= 0
+        holds_triage = self.triage == "holds" and holds is not None
         urgencies: list[tuple[int, int]] = []
         for pbn in candidates.tolist():
-            if not self._in_scan(pbn):
-                continue
             if fast_skip and manager.worst_page_is_safe(pbn):
                 continue
+            if not self._in_scan(pbn):
+                continue
             steps, uncorrectable = manager.predicted_block_retries(pbn)
-            if uncorrectable or steps > self.retry_budget:
-                urgencies.append((steps, pbn))
+            if not (uncorrectable or steps > self.retry_budget):
+                continue
+            if holds_triage:
+                held = holds(pbn)
+                if held is not None:
+                    held = list(held)
+                    steps, uncorrectable = manager.predicted_holds_retries(pbn, held)
+                    if not (uncorrectable or steps > self.retry_budget):
+                        self._note_triage_skip(pbn, len(held))
+                        continue
+            urgencies.append((steps, pbn))
         if not urgencies:
             return []
         urgencies.sort(key=lambda pair: (-pair[0], pair[1]))
         return [pbn for _, pbn in urgencies[: self.max_blocks_per_check]]
+
+    def _note_triage_skip(self, pbn: int, held_pages: int) -> None:
+        """Tally one block the holds triage spared from refreshing."""
+        extra = self.manager.stats.extra
+        extra["triage.skipped_blocks"] = extra.get("triage.skipped_blocks", 0.0) + 1.0
+        extra["triage.saved_pages"] = extra.get("triage.saved_pages", 0.0) + float(
+            held_pages
+        )
 
     def _in_scan(self, pbn: int) -> bool:
         """Whether either refresh gate (age, read disturb) admits ``pbn``."""
@@ -114,12 +153,20 @@ class RefreshPolicy:
         candidates = blocks.victim_candidates(None)
         if not candidates.size:
             return 0.0
-        due = sum(
-            1
-            for pbn in candidates
-            if self._in_scan(int(pbn))
-            and self.manager.predicted_block_retries(int(pbn))[0] > self.retry_budget
-        )
+        manager = self.manager
+        # Same safe-deadline fast path as due_blocks: a provably-safe
+        # block predicts zero steps, which can never exceed a
+        # non-negative budget.
+        fast_skip = self.retry_budget >= 0
+        due = 0
+        for pbn in candidates.tolist():
+            if fast_skip and manager.worst_page_is_safe(pbn):
+                continue
+            if (
+                self._in_scan(pbn)
+                and manager.predicted_block_retries(pbn)[0] > self.retry_budget
+            ):
+                due += 1
         return due / float(candidates.size)
 
     def describe(self) -> str:
@@ -127,9 +174,10 @@ class RefreshPolicy:
         disturb = (
             f", disturb>={self.disturb_reads} reads" if self.disturb_reads else ""
         )
+        triage = f", triage={self.triage}" if self.triage != "worst" else ""
         return (
             f"RefreshPolicy(budget={self.retry_budget} retries, "
             f"every {self.check_interval} ops, "
             f"<= {self.max_blocks_per_check} blocks/check, "
-            f"min_age={self.min_age_s / 3600.0:.1f}h{disturb})"
+            f"min_age={self.min_age_s / 3600.0:.1f}h{disturb}{triage})"
         )

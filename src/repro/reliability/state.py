@@ -1,0 +1,105 @@
+"""STAR-style state-aware error behavior: per-program-level RBER skew.
+
+The layer/retention/disturb stack treats every page programmed alike,
+but measured 3D CT NAND error rates depend strongly on the *data state*
+the cells were programmed to (STAR, arXiv:2511.06249): pages whose
+payload lands the cells in high-threshold states read back with several
+times the RBER of low-state-heavy pages.  Controllers counter this with
+a data randomizer (scrambler) that whitens the state mix; a perfect
+randomizer makes every page's state mix identical and the effect
+vanishes.
+
+:class:`StateAwareModel` layers exactly that under the existing model as
+a per-(block, page, P/E-cycle) multiplicative factor:
+
+* ``skew`` is the full-range RBER ratio between the worst and the best
+  state mix — with a *disabled* randomizer a page's factor spans
+  ``[1/skew, skew]`` (median 1.0, so the population RBER is unchanged
+  and sweeps stay comparable);
+* ``randomizer`` in ``[0, 1]`` is the scrambler's whitening quality —
+  it linearly shrinks the state-mix excursion, so ``1.0`` (the default,
+  a perfect scrambler) collapses every factor to exactly 1.0.
+
+The per-page draw is a counter-based splitmix64 hash of
+``(seed, global page index, P/E cycle)`` — stateless, deterministic
+across platforms and worker processes, and reshuffled by every erase
+(each program cycle writes new data, hence a new state mix).  Either
+``skew == 1`` or ``randomizer == 1`` turns the model off entirely
+(``enabled`` False), and the manager then skips it in the hot path, so
+default configs stay byte-identical to the pre-state-aware simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+_MASK64 = (1 << 64) - 1
+#: 2^-64 — maps a 64-bit hash to a uniform draw in [0, 1).
+_INV64 = 1.0 / float(1 << 64)
+
+#: odd 64-bit mixing constants (splitmix64 / Murmur3 finalizer family).
+_KEY_SEED = 0x9E3779B97F4A7C15
+_KEY_PAGE = 0xBF58476D1CE4E5B9
+_KEY_PE = 0x94D049BB133111EB
+
+
+def _mix64(z: int) -> int:
+    """The splitmix64 finalizer: a 64-bit bijective avalanche mix."""
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    return z ^ (z >> 31)
+
+
+class StateAwareModel:
+    """Per-program-level RBER skew behind a data-randomizer knob."""
+
+    def __init__(
+        self,
+        skew: float = 1.0,
+        randomizer: float = 1.0,
+        seed: int = 42,
+        pages_per_block: int = 1,
+    ) -> None:
+        if skew < 1.0:
+            raise ConfigError(f"state_skew must be >= 1, got {skew}")
+        if not 0.0 <= randomizer <= 1.0:
+            raise ConfigError(f"randomizer must be in [0, 1], got {randomizer}")
+        self.skew = skew
+        self.randomizer = randomizer
+        self.seed = seed
+        self.pages_per_block = pages_per_block
+        #: residual state-mix excursion after scrambling, in [0, 1].
+        self._spread = 1.0 - randomizer
+        self.enabled = skew > 1.0 and self._spread > 0.0
+        self._log_skew = math.log(skew) if self.enabled else 0.0
+        #: conservative per-page upper bound: the factor of the worst
+        #: possible state mix at this scrambler quality.
+        self._worst = skew ** self._spread if self.enabled else 1.0
+
+    def factor(self, pbn: int, page: int, pe_cycle: int) -> float:
+        """RBER multiplier of the data currently in ``(pbn, page)``.
+
+        Deterministic in ``(seed, pbn, page, pe_cycle)``: the same page
+        keeps its factor until the block's next erase gives it new data.
+        """
+        if not self.enabled:
+            return 1.0
+        key = (
+            (self.seed * _KEY_SEED)
+            ^ ((pbn * self.pages_per_block + page) * _KEY_PAGE)
+            ^ (pe_cycle * _KEY_PE)
+        ) & _MASK64
+        u = _mix64(key) * _INV64  # uniform state-mix draw in [0, 1)
+        # The scrambler shrinks the excursion toward the median mix 0.5;
+        # exponent in [-spread, spread) => factor in [skew^-s, skew^s).
+        return math.exp(self._log_skew * (2.0 * u - 1.0) * self._spread)
+
+    def worst_factor(self) -> float:
+        """Upper bound of :meth:`factor` over all pages (triage bound)."""
+        return self._worst
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return f"state(skew={self.skew:g}, randomizer={self.randomizer:g})"

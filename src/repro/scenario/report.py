@@ -59,6 +59,20 @@ def summarize_result(spec: ScenarioSpec, result: RunResult) -> str:
         lines.append(f"uncorrectable     {rel.uncorrectable_reads}")
         if spec.refresh:
             lines.append(f"refreshed blocks  {rel.refresh_runs}")
+        if spec.faults is not None and spec.faults.rate > 0:
+            extra = rel.extra
+            lines.append(
+                f"injected faults   {int(extra.get('injected.reads', 0))} "
+                f"({int(extra.get('injected.uncorrectable', 0))} uncorrectable, "
+                f"{int(extra.get('injected.storms', 0))} storms)"
+            )
+        if spec.reliability.refresh_triage == "holds":
+            extra = rel.extra
+            lines.append(
+                f"triage savings    "
+                f"{int(extra.get('triage.skipped_blocks', 0))} blocks, "
+                f"{int(extra.get('triage.saved_pages', 0))} live pages spared"
+            )
     if spec.reread_age_s > 0:
         lines.append(
             f"fresh read        {result.extra['phase1.mean_read_page_us']:.2f} us/page"
@@ -136,6 +150,11 @@ def sweep_table(
     """Render an expanded sweep as a derived-column table."""
     axes = list(axes)
     any_reliability = any(s.reliability is not None for s in specs)
+    any_faults = any(s.faults is not None and s.faults.rate > 0 for s in specs)
+    any_triage = any(
+        s.reliability is not None and s.reliability.refresh_triage == "holds"
+        for s in specs
+    )
     any_reread = any(s.reread_age_s > 0 for s in specs)
     any_timed = any(s.mode == "timed" for s in specs)
     any_mapping = any(s.ftl == "dftl" for s in specs)
@@ -169,6 +188,12 @@ def sweep_table(
         headers += ["map hit", "trd/rd", "twr/wr"]
     if any_reliability:
         headers += ["retries/rd", "uncorr"]
+    if any_faults:
+        headers += ["inj"]
+    if any_triage:
+        # Refresh-triage savings: live pages the holds-aware due test
+        # spared from relocation copies.
+        headers += ["spared pg"]
     rows: list[list[object]] = []
     for spec, result in zip(specs, results):
         ftl = result.ftl  # type: ignore[attr-defined]
@@ -230,6 +255,19 @@ def sweep_table(
                 ]
             else:
                 row += ["-", "-"]
+        if any_faults:
+            if spec.faults is not None and spec.faults.rate > 0:
+                row.append(int(result.extra.get("faults.injected_reads", 0)))
+            else:
+                row.append("-")
+        if any_triage:
+            if (
+                spec.reliability is not None
+                and spec.reliability.refresh_triage == "holds"
+            ):
+                row.append(int(result.extra.get("refresh.triage_saved_pages", 0)))
+            else:
+                row.append("-")
         rows.append(row)
     parts = []
     if title:

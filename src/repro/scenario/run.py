@@ -134,7 +134,11 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
     from repro.sim.replay import make_ftl  # deferred: replay imports us
 
     device = NandDevice(spec.device)
-    manager = ReliabilityManager(device, spec.reliability) if spec.reliability else None
+    manager = (
+        ReliabilityManager(device, spec.reliability, faults=spec.faults)
+        if spec.reliability
+        else None
+    )
     policy = RefreshPolicy(manager) if (manager is not None and spec.refresh) else None
     ftl = make_ftl(spec.ftl, device, spec.ppb, manager, policy, spec.mapping)
     ssd = SSD(ftl, spec.device.page_size)

@@ -34,6 +34,7 @@ from repro.core.config import PPBConfig
 from repro.errors import ConfigError
 from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import NandSpec
+from repro.reliability.faults import FaultSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
 from repro.scenario.sweep import SweepAxis
@@ -47,6 +48,7 @@ _SECTIONS = {
     "ppb": PPBConfig,
     "reliability": ReliabilityConfig,
     "mapping": MappingConfig,
+    "faults": FaultSpec,
 }
 
 #: repeated sections (lists of sub-specs) and their element types.

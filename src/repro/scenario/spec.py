@@ -35,6 +35,7 @@ from repro.errors import ConfigError
 from repro.ftl.mapping import FULL_MAP_MAX_ENTRIES
 from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import NandSpec, sim_spec
+from repro.reliability.faults import FaultSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.traces.workloads import WORKLOADS
 
@@ -210,6 +211,9 @@ class ScenarioSpec:
     reliability: ReliabilityConfig | None = None
     #: attach the retention-aware refresh policy (needs ``reliability``).
     refresh: bool = False
+    #: deterministic fault injection on host reads (None or rate 0 =
+    #: off, byte-identical to the baseline; needs ``reliability``).
+    faults: FaultSpec | None = None
 
     # -- phase schedule -------------------------------------------------
     #: fraction of logical capacity sequentially pre-written before the
@@ -310,6 +314,12 @@ class ScenarioSpec:
             raise ConfigError(f"arrival_scale must be > 0, got {self.arrival_scale}")
         if self.reread_age_s > 0 and self.reliability is None:
             raise ConfigError("reread_age_s requires the reliability stack")
+        if (
+            self.faults is not None
+            and self.faults.rate > 0
+            and self.reliability is None
+        ):
+            raise ConfigError("faults.rate > 0 requires the reliability stack")
 
     # ------------------------------------------------------------------
 
@@ -396,6 +406,8 @@ class ScenarioSpec:
             parts.append("+reliability")
         if self.refresh:
             parts.append("+refresh")
+        if self.faults is not None and self.faults.rate > 0:
+            parts.append(f"+faults({self.faults.rate:g})")
         if self.retention_age_s:
             parts.append(f"age={self.retention_age_s:g}s")
         if self.reread_age_s:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
 from repro.ftl.transmap import MappingConfig
+from repro.reliability.faults import FaultSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.spec import ScenarioSpec
 
@@ -41,6 +42,7 @@ _AUTO_SECTIONS = {
     "ppb": PPBConfig,
     "reliability": ReliabilityConfig,
     "mapping": MappingConfig,
+    "faults": FaultSpec,
 }
 
 #: repeated sections addressed by element: ``tenants.0.num_requests`` by

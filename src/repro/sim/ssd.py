@@ -591,3 +591,6 @@ class SSD:
         result.mean_read_page_us = stats.mean_read_us
         result.mean_write_page_us = stats.mean_write_us
         result.extra = dict(stats.extra)
+        reliability = getattr(self.ftl, "reliability", None)
+        if reliability is not None:
+            result.extra.update(reliability.result_extras())

@@ -1,0 +1,148 @@
+"""Tests for the deterministic fault-injection stream."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.reliability.faults import FAULT_TARGETS, FaultInjector, FaultSpec
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+
+
+def schedule(spec: FaultSpec, reads: int) -> list[str | None]:
+    injector = FaultInjector(spec)
+    return [injector.check() for _ in range(reads)]
+
+
+class TestSpec:
+    def test_defaults_disabled(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": -0.1},
+            {"rate": 1.5},
+            {"burst": 0},
+            {"seed": -1},
+            {"target": "meteor"},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+    def test_describe(self):
+        spec = FaultSpec(rate=0.01, burst=4, target="mixed")
+        assert spec.describe() == "faults(rate=0.01, burst=4, mixed)"
+
+    def test_injector_refuses_disabled_spec(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultSpec(rate=0.0))
+
+
+class TestStream:
+    def test_deterministic_across_instances(self):
+        spec = FaultSpec(rate=0.05, burst=3, seed=99, target="mixed")
+        assert schedule(spec, 2000) == schedule(spec, 2000)
+
+    def test_seed_changes_schedule(self):
+        a = schedule(FaultSpec(rate=0.05, seed=1), 2000)
+        b = schedule(FaultSpec(rate=0.05, seed=2), 2000)
+        assert a != b
+
+    def test_rate_one_faults_every_read(self):
+        events = schedule(FaultSpec(rate=1.0, target="storm"), 50)
+        assert events == ["storm"] * 50
+
+    def test_burst_repeats_kind(self):
+        events = schedule(FaultSpec(rate=0.02, burst=4, target="mixed"), 5000)
+        runs: list[list[str]] = []
+        for kind in events:
+            if kind is None:
+                continue
+            if runs and len(runs[-1]) < 4 and runs[-1][-1] == kind:
+                runs[-1].append(kind)
+            else:
+                runs.append([kind])
+        assert runs, "expected some events at rate 0.02 over 5000 reads"
+        # Bursts repeat the event's class; a full burst is homogeneous.
+        assert all(len(set(run)) == 1 for run in runs)
+        assert any(len(run) == 4 for run in runs)
+
+    def test_mixed_draws_both_kinds(self):
+        kinds = {k for k in schedule(FaultSpec(rate=0.05, target="mixed"), 5000) if k}
+        assert kinds == {"uncorrectable", "storm"}
+
+    def test_rate_matches_long_run_frequency(self):
+        rate = 0.01
+        events = schedule(FaultSpec(rate=rate, burst=1), 100_000)
+        count = sum(1 for k in events if k is not None)
+        assert count == pytest.approx(rate * len(events), rel=0.15)
+
+    def test_targets_registry(self):
+        assert set(FAULT_TARGETS) == {"uncorrectable", "storm", "mixed"}
+
+
+class TestManagerIntegration:
+    def make(self, faults: FaultSpec | None, **overrides) -> ReliabilityManager:
+        device = NandDevice(tiny_spec())
+        return ReliabilityManager(device, ReliabilityConfig(**overrides), faults=faults)
+
+    def test_rate_zero_spec_attaches_no_injector(self):
+        manager = self.make(FaultSpec(rate=0.0))
+        assert manager._injector is None
+        assert manager.result_extras() == {}
+
+    def test_injected_uncorrectable_counts_and_penalty(self):
+        manager = self.make(FaultSpec(rate=1.0, target="uncorrectable"))
+        manager.note_program(0)
+        retry_us = manager.on_host_read(0)
+        assert manager.stats.uncorrectable_reads == 1
+        assert retry_us >= manager.config.uncorrectable_penalty_us
+        # The driver-recovery share is claimable exactly once (the FTL
+        # hook splits it out into a queued device op).
+        assert manager.consume_recovery_us() == manager.config.uncorrectable_penalty_us
+        assert manager.consume_recovery_us() == 0.0
+
+    def test_injected_storm_decodes_but_burns_the_ladder(self):
+        manager = self.make(FaultSpec(rate=1.0, target="storm"))
+        manager.note_program(0)
+        retry_us = manager.on_host_read(0)
+        assert retry_us > 0.0
+        assert manager.stats.uncorrectable_reads == 0
+        assert manager.stats.retried_reads == 1
+        assert manager.stats.retry_steps == manager.ecc.max_retries
+        assert manager.consume_recovery_us() == 0.0
+
+    def test_result_extras_surface_injection_counters(self):
+        manager = self.make(FaultSpec(rate=1.0, burst=1, target="mixed"))
+        manager.note_program(0)
+        for page in range(8):
+            manager.on_host_read(page)
+            manager.consume_recovery_us()
+        extras = manager.result_extras()
+        assert extras["faults.injected_reads"] == 8.0
+        assert (
+            extras["faults.injected_uncorrectable"] + extras["faults.injected_storms"]
+            == 8.0
+        )
+        assert extras["reliability.uncorrectable_reads"] == float(
+            manager.stats.uncorrectable_reads
+        )
+
+    def test_describe_mentions_faults_only_when_armed(self):
+        silent = self.make(None)
+        armed = self.make(FaultSpec(rate=0.25))
+        assert "faults(" not in silent.describe()
+        assert "faults(rate=0.25" in armed.describe()
+
+    def test_injected_faults_still_count_as_disturb_reads(self):
+        manager = self.make(
+            FaultSpec(rate=1.0, target="storm"), disturb_coeff=8.0
+        )
+        manager.note_program(0)
+        for _ in range(5):
+            manager.on_host_read(0)
+        assert manager.reads_of(0) == 5

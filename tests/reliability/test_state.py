@@ -1,0 +1,140 @@
+"""Tests for the STAR-style state-aware error model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nand.device import NandDevice
+from repro.nand.spec import tiny_spec
+from repro.reliability.manager import ReliabilityConfig, ReliabilityManager
+from repro.reliability.state import StateAwareModel
+
+
+class TestConstruction:
+    def test_defaults_are_disabled(self):
+        model = StateAwareModel()
+        assert not model.enabled
+        assert model.worst_factor() == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"skew": 0.5},
+            {"randomizer": -0.1},
+            {"randomizer": 1.5},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            StateAwareModel(**kwargs)
+
+    def test_perfect_randomizer_disables_any_skew(self):
+        model = StateAwareModel(skew=8.0, randomizer=1.0)
+        assert not model.enabled
+        assert model.factor(3, 7, 2) == 1.0
+
+    def test_unit_skew_disables_any_randomizer(self):
+        model = StateAwareModel(skew=1.0, randomizer=0.0)
+        assert not model.enabled
+        assert model.factor(3, 7, 2) == 1.0
+
+
+class TestFactor:
+    def test_deterministic_and_stateless(self):
+        a = StateAwareModel(skew=4.0, randomizer=0.25, seed=7, pages_per_block=64)
+        b = StateAwareModel(skew=4.0, randomizer=0.25, seed=7, pages_per_block=64)
+        draws = [(pbn, page, pe) for pbn in range(4) for page in range(8) for pe in range(3)]
+        # Interleave the query order: the draw must be a pure function
+        # of its arguments, not of history.
+        assert [a.factor(*d) for d in draws] == [b.factor(*d) for d in reversed(draws)][::-1]
+
+    def test_erase_reshuffles(self):
+        model = StateAwareModel(skew=4.0, randomizer=0.0, pages_per_block=64)
+        same_pe = model.factor(1, 2, 5)
+        assert model.factor(1, 2, 5) == same_pe
+        assert model.factor(1, 2, 6) != same_pe
+
+    def test_factor_bounded_by_skew_and_randomizer(self):
+        skew, randomizer = 5.0, 0.4
+        model = StateAwareModel(skew=skew, randomizer=randomizer, pages_per_block=64)
+        worst = model.worst_factor()
+        assert worst == pytest.approx(skew ** (1.0 - randomizer))
+        for pbn in range(8):
+            for page in range(64):
+                f = model.factor(pbn, page, 1)
+                assert 1.0 / worst <= f <= worst
+
+    def test_median_preserving(self):
+        # log-factors are symmetric around 0, so the population RBER
+        # median is unchanged by the skew.
+        model = StateAwareModel(skew=6.0, randomizer=0.0, pages_per_block=128)
+        logs = [
+            math.log(model.factor(pbn, page, 0))
+            for pbn in range(16)
+            for page in range(128)
+        ]
+        assert abs(sum(logs) / len(logs)) < 0.05 * math.log(6.0)
+
+    def test_describe(self):
+        assert StateAwareModel(skew=3.0, randomizer=0.5).describe() == (
+            "state(skew=3, randomizer=0.5)"
+        )
+
+
+class TestManagerIntegration:
+    def make(self, **overrides):
+        device = NandDevice(tiny_spec())
+        return ReliabilityManager(device, ReliabilityConfig(**overrides))
+
+    def test_uniform_skew_is_exactly_the_existing_model(self):
+        base = self.make()
+        skewed = self.make(state_skew=1.0, randomizer=0.3)
+        whitened = self.make(state_skew=4.0, randomizer=1.0)
+        for manager in (base, skewed, whitened):
+            manager.note_program(2)
+            manager.advance_us(3_600_000_000.0)
+        for page in range(base.spec.pages_per_block):
+            rber = base.rber_of(2, page)
+            assert skewed.rber_of(2, page) == rber
+            assert whitened.rber_of(2, page) == rber
+
+    def test_skew_perturbs_rber_per_page(self):
+        base = self.make()
+        skewed = self.make(state_skew=4.0, randomizer=0.0)
+        for manager in (base, skewed):
+            manager.note_program(2)
+            manager.advance_us(3_600_000_000.0)
+        ratios = {
+            skewed.rber_of(2, page) / base.rber_of(2, page)
+            for page in range(base.spec.pages_per_block)
+        }
+        assert len(ratios) > 1  # per-page spread, not a global scale
+        worst = 4.0
+        assert all(1.0 / worst <= r <= worst for r in ratios)
+
+    def test_block_prediction_stays_conservative(self):
+        # The worst-page prediction must upper-bound every page's actual
+        # retry count, state skew included — the refresh fast path and
+        # the GC risk score both lean on this.
+        manager = self.make(
+            state_skew=3.0, randomizer=0.25, base_rber=4e-4, disturb_coeff=8.0
+        )
+        manager.note_program(2)
+        manager.advance_us(86_400_000_000.0)
+        steps, uncorrectable = manager.predicted_block_retries(2)
+        for page in range(manager.spec.pages_per_block):
+            page_steps, page_unc = manager.ecc.retries_needed(manager.rber_of(2, page))
+            assert page_steps <= steps
+            assert page_unc <= uncorrectable
+
+    def test_describe_mentions_state_only_when_enabled(self):
+        assert "state(" not in self.make().describe()
+        assert "state(skew=4" in self.make(state_skew=4.0, randomizer=0.5).describe()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"state_skew": 0.5}, {"randomizer": 2.0}, {"randomizer": -1.0}]
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ReliabilityConfig(**kwargs)

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.core.config import PPBConfig
 from repro.errors import ConfigError
 from repro.nand.spec import NandSpec
+from repro.reliability.faults import FAULT_TARGETS, FaultSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.serialize import (
     spec_from_dict,
@@ -114,7 +115,37 @@ def reliabilities() -> st.SearchStrategy[ReliabilityConfig]:
     )
 
 
+def faultspecs(enabled: bool) -> st.SearchStrategy[FaultSpec]:
+    rate = (
+        st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+        if enabled
+        else st.just(0.0)
+    )
+    return st.builds(
+        FaultSpec,
+        rate=rate,
+        burst=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+        target=st.sampled_from(FAULT_TARGETS),
+    )
+
+
+def _with_faults(spec: ScenarioSpec) -> st.SearchStrategy[ScenarioSpec]:
+    # rate > 0 requires the reliability stack, so the fault strategy is
+    # conditioned on the spec it lands on.
+    return st.one_of(
+        st.just(spec),
+        faultspecs(spec.reliability is not None).map(
+            lambda faults: spec.with_(faults=faults)
+        ),
+    )
+
+
 def scenarios() -> st.SearchStrategy[ScenarioSpec]:
+    return _scenario_bases().flatmap(_with_faults)
+
+
+def _scenario_bases() -> st.SearchStrategy[ScenarioSpec]:
     reliability = st.one_of(st.none(), reliabilities())
     return st.builds(
         ScenarioSpec,
@@ -165,6 +196,20 @@ def test_reread_age_survives_roundtrip():
     assert spec_from_toml(spec_to_toml(spec)) == spec
 
 
+def test_fault_and_qos_knobs_survive_roundtrip():
+    spec = ScenarioSpec(
+        reliability=ReliabilityConfig(
+            state_skew=2.0,
+            randomizer=0.5,
+            refresh_triage="holds",
+            gc_risk_weight=4.0,
+        ),
+        faults=FaultSpec(rate=0.01, burst=4, seed=7, target="mixed"),
+    )
+    assert spec_from_toml(spec_to_toml(spec)) == spec
+    assert spec_from_json(spec_to_json(spec)) == spec
+
+
 def test_channel_topology_and_queueing_knobs_survive_roundtrip():
     spec = ScenarioSpec(
         device=NandSpec(num_chips=4, num_channels=2),
@@ -190,6 +235,8 @@ class TestBadInput:
             spec_from_dict({"device": {"speed_ration": 2.0}})
         with pytest.raises(ConfigError, match=r"ppb\.vb_splitt"):
             spec_from_dict({"ppb": {"vb_splitt": 2}})
+        with pytest.raises(ConfigError, match=r"faults\.ratee"):
+            spec_from_dict({"faults": {"ratee": 0.5}})
 
     def test_type_errors_name_the_path(self):
         with pytest.raises(ConfigError, match="num_requests"):

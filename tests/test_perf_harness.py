@@ -54,6 +54,7 @@ class TestPerfHarness:
             "reliability/refresh",
             "dftl/mapping-cache",
             "timed/queueing",
+            "reliability/fault-injection",
         ]
         reliability = cases[3].spec
         assert reliability.reliability is not None
@@ -64,12 +65,20 @@ class TestPerfHarness:
         assert dftl.mapping is not None
         assert dftl.mapping.resolve_cache_entries(1000) < 1000
         # The DES kernel case: channel-parallel timed mode at saturation.
-        queueing = cases[-1].spec
+        queueing = cases[5].spec
         assert queueing.mode == "timed"
         assert queueing.device.num_chips > 1
         assert queueing.device.num_channels > 1
         assert queueing.arrival_scale > 1.0
         assert queueing.queue_depth > 0
+        # The reliability-QoS loop case: faults + triage under queueing.
+        faulted = cases[-1].spec
+        assert faulted.mode == "timed"
+        assert faulted.faults is not None and faulted.faults.rate > 0
+        assert faulted.reliability is not None
+        assert faulted.reliability.refresh_triage == "holds"
+        assert faulted.reliability.state_skew > 1.0
+        assert faulted.refresh
 
     def test_run_and_report_roundtrip(self, tmp_path):
         report = run_perf(scale=SMOKE_PERF, repeats=1, cases=tiny_cases())
