@@ -34,6 +34,10 @@ Subcommands
     Print trace statistics for a synthetic workload (or an MSRC CSV).
 ``spec``
     Print the Table 1 device description.
+``lint [paths] [--rule ID] [--format text|json]``
+    Run the AST-based determinism & simulator-invariant analyzer (see
+    :mod:`repro.lint`) over the shipped package tree or the given
+    files/directories.  Exits 0 when clean, 1 with findings.
 
 The sweep subcommands take ``--workers N`` to fan their replay grids
 across worker processes (results are byte-identical to ``--workers 1``;
@@ -351,6 +355,36 @@ def _build_parser() -> argparse.ArgumentParser:
     char.add_argument("--page-size", type=int, default=16 * 1024)
 
     sub.add_parser("spec", help="print the paper's Table 1 device")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & simulator-invariant analyzer",
+        description="AST-based static analysis of the simulator tree: "
+        "determinism (DET001-DET003) and simulator invariants "
+        "(SPEC001, REG001, OPLOG001).  Suppress one audited line with "
+        "'# repro-lint: disable=RULE'.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to lint (default: the installed repro "
+        "package; add tests/ to self-check test determinism)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule ID (repeatable); overrides the "
+        "tests-directory rule scoping",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
     return parser
 
 
@@ -644,6 +678,18 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import run_lint
+
+    try:
+        report = run_lint(paths=args.paths or None, rules=args.rule)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_json() if args.format == "json" else report.render_text())
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -666,6 +712,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "spec":
         print(table1_spec().describe())
         return 0
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2
 
 

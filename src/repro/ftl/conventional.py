@@ -23,9 +23,15 @@ requests.  Single-chip behaviour is unchanged, byte for byte.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.ftl.base import BaseFTL, WriteContext
 from repro.ftl.gc import VictimPolicy
 from repro.nand.device import NandDevice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.manager import ReliabilityManager
+    from repro.reliability.refresh import RefreshPolicy
 
 
 class ConventionalFTL(BaseFTL):
@@ -40,8 +46,8 @@ class ConventionalFTL(BaseFTL):
         gc_low_blocks: int | None = None,
         gc_high_blocks: int | None = None,
         separate_gc_stream: bool = False,
-        reliability=None,
-        refresh=None,
+        reliability: "ReliabilityManager | None" = None,
+        refresh: "RefreshPolicy | None" = None,
     ) -> None:
         super().__init__(
             device,

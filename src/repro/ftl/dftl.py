@@ -43,6 +43,8 @@ geometries construct without allocating gigabytes of host RAM.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.ftl.blockinfo import TRANS_KLASS
 from repro.ftl.conventional import ConventionalFTL
 from repro.ftl.gc import VictimPolicy
@@ -54,6 +56,10 @@ from repro.ftl.transmap import (
     MappingConfig,
 )
 from repro.nand.device import NandDevice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.manager import ReliabilityManager
+    from repro.reliability.refresh import RefreshPolicy
 
 
 class DFTL(ConventionalFTL):
@@ -68,8 +74,8 @@ class DFTL(ConventionalFTL):
         gc_low_blocks: int | None = None,
         gc_high_blocks: int | None = None,
         mapping: MappingConfig | None = None,
-        reliability=None,
-        refresh=None,
+        reliability: "ReliabilityManager | None" = None,
+        refresh: "RefreshPolicy | None" = None,
     ) -> None:
         self.mapping = mapping if mapping is not None else MappingConfig()
         super().__init__(

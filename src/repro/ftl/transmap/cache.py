@@ -58,7 +58,7 @@ class CachedMappingTable:
         """Entries awaiting write-back."""
         return len(self._dirty)
 
-    def lookup(self, lpn: int):
+    def lookup(self, lpn: int) -> int | None:
         """The cached PPN of ``lpn`` (refreshing LRU), or None on a miss."""
         entries = self._entries
         ppn = entries.get(lpn, _ABSENT)
@@ -69,7 +69,7 @@ class CachedMappingTable:
         self.hits += 1
         return ppn
 
-    def peek(self, lpn: int):
+    def peek(self, lpn: int) -> int | None:
         """The cached PPN without touching LRU order or counters."""
         ppn = self._entries.get(lpn, _ABSENT)
         return None if ppn is _ABSENT else ppn

@@ -1,0 +1,276 @@
+"""The ``repro lint`` driver: file walking, pragmas, reports.
+
+The engine parses every target file once (:class:`SourceFile`), builds
+one cross-file :class:`Project` view (class index + static subclass
+closure — rules like REG001 resolve inheritance from the AST, never by
+importing the code under analysis), dispatches the selected rules, and
+filters findings through the inline pragma layer.
+
+Pragmas
+-------
+A finding is suppressed when the *physical line it points at* carries::
+
+    # repro-lint: disable=DET001
+    # repro-lint: disable=DET001,DET003
+    # repro-lint: disable=all
+
+Pragmas are deliberately line-scoped — a disabled rule stays enforced
+everywhere else in the file, so each escape hatch documents exactly one
+audited site.
+
+Scoping
+-------
+Files whose path contains a ``tests`` component get only the
+determinism rules (DET001/DET002): test code may iterate sets and
+monkeypatch registries freely, but a stray wall clock or global-state
+RNG breaks reproducibility wherever it lives.  An explicit ``--rule``
+selection overrides the scoping.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+#: pragma spelling recognized on a flagged line.
+PRAGMA_PREFIX = "# repro-lint: disable="
+
+#: rules applied to files under a ``tests`` directory (see module
+#: docstring); everything else gets the full rule set.
+TEST_PATH_RULES = ("DET001", "DET002")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line: RULE message`` (clickable in most terminals)."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+class SourceFile:
+    """One parsed target file plus its pragma map."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        #: path relative to the lint invocation root, POSIX separators —
+        #: what findings display and path-scoped rules match against.
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+
+    def disabled_rules(self, line: int) -> frozenset[str]:
+        """Rule IDs pragma-disabled on the given 1-indexed line."""
+        if not 1 <= line <= len(self.lines):
+            return frozenset()
+        text = self.lines[line - 1]
+        at = text.find(PRAGMA_PREFIX)
+        if at < 0:
+            return frozenset()
+        spec = text[at + len(PRAGMA_PREFIX):].split("#", 1)[0]
+        return frozenset(part.strip() for part in spec.split(",") if part.strip())
+
+    def in_tests(self) -> bool:
+        """Whether the file lives under a ``tests`` directory."""
+        return "tests" in Path(self.rel).parts
+
+
+@dataclass
+class ClassInfo:
+    """Static view of one class definition somewhere in the project."""
+
+    name: str
+    rel: str
+    node: ast.ClassDef
+    #: base-class *names* as written (dotted bases keep the last part).
+    bases: tuple[str, ...] = ()
+
+
+class Project:
+    """Cross-file context shared by the project-scoped rules."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.files = list(files)
+        #: class name -> definition (last definition wins; the shipped
+        #: tree has no duplicate class names across modules).
+        self.classes: dict[str, ClassInfo] = {}
+        for source in self.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        base.id if isinstance(base, ast.Name) else base.attr
+                        for base in node.bases
+                        if isinstance(base, (ast.Name, ast.Attribute))
+                    )
+                    self.classes[node.name] = ClassInfo(node.name, source.rel, node, bases)
+
+    def find(self, rel_suffix: str) -> SourceFile | None:
+        """The file whose relative path ends with ``rel_suffix``."""
+        for source in self.files:
+            if source.rel.endswith(rel_suffix):
+                return source
+        return None
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        """Whether class ``name`` transitively lists ``ancestor`` as a base
+        (resolved statically through the project's class index)."""
+        seen: list[str] = []
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current == ancestor and current != name:
+                return True
+            if current in seen:
+                continue
+            seen.append(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base == ancestor:
+                    return True
+                stack.append(base)
+        return False
+
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"repro lint: {len(self.findings)} finding(s) in "
+            f"{self.files_checked} file(s) "
+            f"[rules: {', '.join(self.rules_run)}]"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        from repro.lint.rules import RULES
+
+        payload = {
+            "version": 1,
+            "rules": {
+                rule.id: rule.title for rule in RULES if rule.id in self.rules_run
+            },
+            "files_checked": self.files_checked,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """Expand files/directories into (absolute, display) python paths."""
+    out: list[tuple[Path, str]] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise ConfigError(f"lint path does not exist: {raw}")
+        if root.is_file():
+            out.append((root, root.as_posix()))
+            continue
+        for file in sorted(root.rglob("*.py")):
+            if any(part.startswith(".") or part == "__pycache__" for part in file.parts):
+                continue
+            out.append((file, file.as_posix()))
+    # dedupe while keeping the deterministic sorted-walk order
+    seen: dict[Path, None] = {}
+    unique: list[tuple[Path, str]] = []
+    for file, rel in out:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen[resolved] = None
+            unique.append((file, rel))
+    return unique
+
+
+def default_target() -> Path:
+    """The shipped package tree — what a bare ``repro lint`` analyzes."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_lint(
+    paths: Sequence[str | Path] | None = None,
+    rules: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint the given files/directories (default: the installed
+    ``repro`` package tree) with the selected rules (default: all;
+    files under ``tests`` directories keep only DET001/DET002 unless
+    rules were selected explicitly)."""
+    from repro.lint.rules import RULES
+
+    by_id = {rule.id: rule for rule in RULES}
+    explicit = rules is not None
+    if explicit:
+        selected = []
+        for rule_id in rules:  # type: ignore[union-attr]
+            if rule_id not in by_id:
+                raise ConfigError(
+                    f"unknown lint rule {rule_id!r}; choose from {sorted(by_id)}"
+                )
+            if rule_id not in selected:
+                selected.append(rule_id)
+    else:
+        selected = list(by_id)
+
+    targets = _collect_files(list(paths) if paths else [default_target()])
+    sources: list[SourceFile] = []
+    report = LintReport(rules_run=tuple(selected))
+    for file, rel in targets:
+        try:
+            sources.append(SourceFile(file, rel, file.read_text()))
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding("PARSE", rel, exc.lineno or 1, f"syntax error: {exc.msg}")
+            )
+    project = Project(sources)
+    report.files_checked = len(sources)
+
+    raw: list[Finding] = []
+    for rule_id in selected:
+        rule = by_id[rule_id]
+        for source in sources:
+            if not explicit and source.in_tests() and rule_id not in TEST_PATH_RULES:
+                continue
+            raw.extend(rule.check(source, project))
+
+    for finding in raw:
+        source = next((s for s in sources if s.rel == finding.path), None)
+        if source is not None:
+            disabled = source.disabled_rules(finding.line)
+            if finding.rule in disabled or "all" in disabled:
+                continue
+        report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

@@ -12,18 +12,29 @@ construction and result memoization keyed on the
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING, Sequence
 
+from repro.ftl.base import BaseFTL
 from repro.nand.device import NandDevice
 from repro.reliability.manager import ReliabilityManager
 from repro.reliability.refresh import RefreshPolicy
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import PreconditionPhase, ScenarioSpec
 from repro.sim.ssd import SSD, RunResult
 from repro.traces.record import IORequest, Trace
-from repro.traces.workloads import WORKLOADS
+from repro.traces.workloads import WORKLOADS, SyntheticWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.memo import ReplayRunner
 
 
-def _make_generator(workload: str, num_requests: int, footprint_bytes: int,
-                    seed: int, kwargs: tuple, owner: str):
+def _make_generator(
+    workload: str,
+    num_requests: int,
+    footprint_bytes: int,
+    seed: int,
+    kwargs: tuple[tuple[str, object], ...],
+    owner: str,
+) -> SyntheticWorkload:
     """Instantiate a registered workload, naming bad kwargs like a path."""
     try:
         return WORKLOADS[workload](
@@ -164,7 +175,9 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
     return result
 
 
-def _precondition(ssd: SSD, spec: ScenarioSpec, phase, index: int) -> None:
+def _precondition(
+    ssd: SSD, spec: ScenarioSpec, phase: PreconditionPhase, index: int
+) -> None:
     """Replay one steady-state preconditioning phase, discarding stats.
 
     The phase's workload runs over the *full* footprint (tenant
@@ -182,7 +195,7 @@ def _precondition(ssd: SSD, spec: ScenarioSpec, phase, index: int) -> None:
 
 def _reread_aged(
     ssd: SSD,
-    ftl,
+    ftl: BaseFTL,
     manager: ReliabilityManager,
     fitted: Trace,
     fresh: RunResult,
@@ -218,7 +231,7 @@ def _reread_aged(
     return reread
 
 
-def run_scenario(spec: ScenarioSpec, runner=None) -> RunResult:
+def run_scenario(spec: ScenarioSpec, runner: "ReplayRunner | None" = None) -> RunResult:
     """Run one scenario through the (memoized) replay runner.
 
     Pass a shared :class:`~repro.bench.memo.ReplayRunner` to memoize
@@ -232,7 +245,9 @@ def run_scenario(spec: ScenarioSpec, runner=None) -> RunResult:
     return runner.run(spec)
 
 
-def run_scenarios(specs, runner=None) -> list[RunResult]:
+def run_scenarios(
+    specs: Sequence[ScenarioSpec], runner: "ReplayRunner | None" = None
+) -> list[RunResult]:
     """Run a batch of scenarios (parallel when the runner has workers)."""
     if runner is None:
         from repro.bench.memo import ReplayRunner

@@ -88,7 +88,7 @@ def spec_to_dict(spec: ScenarioSpec) -> dict:
     return out
 
 
-def _subspec_to_dict(item) -> dict:
+def _subspec_to_dict(item: TenantSpec | PreconditionPhase) -> dict:
     """Dict form of a tenant / preconditioning phase entry."""
     out: dict[str, object] = {}
     for f in dataclasses.fields(item):
@@ -182,7 +182,7 @@ def _workload_kwargs_from(
     return tuple(out)
 
 
-def _dataclass_from_dict(cls: type, data: object, path: str):
+def _dataclass_from_dict(cls: type, data: object, path: str) -> object:
     """Generic strict dataclass rebuild with dotted-path errors."""
     if not isinstance(data, typing.Mapping):
         raise ConfigError(f"{path} must be a table/mapping, got {type(data).__name__}")
@@ -198,7 +198,7 @@ def _dataclass_from_dict(cls: type, data: object, path: str):
     return cls(**kwargs)
 
 
-def _coerce(value: object, hint: object, path: str):
+def _coerce(value: object, hint: object, path: str) -> object:
     """Check/coerce one scalar against a resolved type hint.
 
     The only *coercion* is int -> float (TOML/JSON readers legitimately

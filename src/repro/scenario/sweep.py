@@ -112,7 +112,7 @@ def _has_kwargs_field(obj: object) -> bool:
     )
 
 
-def get_path(spec: ScenarioSpec, path: str):
+def get_path(spec: ScenarioSpec, path: str) -> object:
     """Read the value at a dotted path; ConfigError names the bad segment.
 
     A path under an absent optional section (``ppb.vb_split`` while
@@ -163,7 +163,7 @@ def set_path(spec: ScenarioSpec, path: str, value: object) -> ScenarioSpec:
     return _set_in(spec, parts, value, walked=[])
 
 
-def _set_in(obj: object, parts: list[str], value: object, walked: list[str]):
+def _set_in(obj: object, parts: list[str], value: object, walked: list[str]) -> object:
     from repro.scenario.serialize import _coerce
 
     head, rest = parts[0], parts[1:]
@@ -395,7 +395,7 @@ def list_paths(spec: ScenarioSpec | None = None) -> list[tuple[str, str, str]]:
 # CLI parsing
 # ----------------------------------------------------------------------
 
-def parse_scalar(text: str):
+def parse_scalar(text: str) -> bool | int | float | str:
     """Parse one CLI value: bool literal, int, float, else string."""
     lowered = text.strip().lower()
     if lowered in ("true", "false"):

@@ -27,19 +27,43 @@ from repro.reliability.refresh import RefreshPolicy
 from repro.sim.ssd import RunResult
 from repro.traces.record import Trace
 
-def _make_conventional(device, ppb_config, reliability, refresh, mapping):
+def _make_conventional(
+    device: NandDevice,
+    ppb_config: PPBConfig | None,
+    reliability: ReliabilityManager | None,
+    refresh: RefreshPolicy | None,
+    mapping: MappingConfig | None,
+) -> ConventionalFTL:
     return ConventionalFTL(device, reliability=reliability, refresh=refresh)
 
 
-def _make_fast(device, ppb_config, reliability, refresh, mapping):
+def _make_fast(
+    device: NandDevice,
+    ppb_config: PPBConfig | None,
+    reliability: ReliabilityManager | None,
+    refresh: RefreshPolicy | None,
+    mapping: MappingConfig | None,
+) -> FastFTL:
     return FastFTL(device, reliability=reliability, refresh=refresh)
 
 
-def _make_ppb(device, ppb_config, reliability, refresh, mapping):
+def _make_ppb(
+    device: NandDevice,
+    ppb_config: PPBConfig | None,
+    reliability: ReliabilityManager | None,
+    refresh: RefreshPolicy | None,
+    mapping: MappingConfig | None,
+) -> PPBFTL:
     return PPBFTL(device, config=ppb_config, reliability=reliability, refresh=refresh)
 
 
-def _make_dftl(device, ppb_config, reliability, refresh, mapping):
+def _make_dftl(
+    device: NandDevice,
+    ppb_config: PPBConfig | None,
+    reliability: ReliabilityManager | None,
+    refresh: RefreshPolicy | None,
+    mapping: MappingConfig | None,
+) -> DFTL:
     return DFTL(device, mapping=mapping, reliability=reliability, refresh=refresh)
 
 
@@ -77,7 +101,7 @@ def make_ftl(
     reliability: ReliabilityManager | None = None,
     refresh: RefreshPolicy | None = None,
     mapping: MappingConfig | None = None,
-):
+) -> object:
     """Instantiate an FTL by name ("conventional", "fast", "ppb", "dftl")."""
     try:
         factory = FTL_FACTORIES[kind]

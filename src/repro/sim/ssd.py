@@ -42,10 +42,10 @@ open-loop intensity knob the saturation sweeps turn.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Generator, Protocol
 
 from repro.errors import ConfigError
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 from repro.traces.record import IORequest, OpType, Trace
 
@@ -401,7 +401,14 @@ class SSD:
         result.extra.update(timed_extra)
         return result
 
-    def _timed_source(self, engine, trace: Trace, arrival_scale: float, slots, dispatch):
+    def _timed_source(
+        self,
+        engine: Engine,
+        trace: Trace,
+        arrival_scale: float,
+        slots: Resource | None,
+        dispatch: Callable[[IORequest, float], Generator[Event, None, None]],
+    ) -> Generator[Event, None, None]:
         """The open-loop arrival process both timed paths share.
 
         Walks the trace at its (scaled) timestamps, waits for a host
@@ -468,7 +475,9 @@ class SSD:
         device = Resource(engine, capacity=1)
         slots = Resource(engine, capacity=queue_depth) if queue_depth else None
 
-        def one_request(request: IORequest, arrival: float):
+        def one_request(
+            request: IORequest, arrival: float
+        ) -> Generator[Event, None, None]:
             grant = device.request()
             yield grant
             latency = self.service(request)
@@ -537,7 +546,9 @@ class SSD:
         buses = [Resource(engine) for _ in range(num_channels)]
         slots = Resource(engine, capacity=queue_depth) if queue_depth else None
 
-        def chip_visit(chip_index: int, transfer_us: float, array_us: float):
+        def chip_visit(
+            chip_index: int, transfer_us: float, array_us: float
+        ) -> Generator[Event, None, None]:
             chip = chips[chip_index]
             yield chip.request()
             if transfer_us > 0.0:
@@ -549,7 +560,9 @@ class SSD:
                 yield engine.timeout(array_us)
             chip.release()
 
-        def one_request(request: IORequest, arrival: float):
+        def one_request(
+            request: IORequest, arrival: float
+        ) -> Generator[Event, None, None]:
             latency, per_chip = self._service_profiled(request)
             if per_chip:
                 visits = [

@@ -61,7 +61,10 @@ class ZipfianGenerator:
             raise ConfigError(f"theta must be in (0, 1), got {theta}")
         self.n = n
         self.theta = theta
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback: an OS-entropy stream here would make default
+        # construction nondeterministic (DET001); callers that want
+        # distinct streams pass their own rng.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         ranks = np.arange(1, n + 1, dtype=np.float64)
         self._zetan = float(np.sum(ranks ** -theta))
         self._zeta2 = 1.0 + 2.0 ** -theta if n >= 2 else self._zetan
@@ -113,7 +116,8 @@ class UniformSampler:
         if n < 1:
             raise ConfigError(f"n must be >= 1, got {n}")
         self.n = n
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback for the same DET001 reason as ZipfianGenerator.
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     def next(self) -> int:
         """Sample one item index."""
