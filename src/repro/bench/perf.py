@@ -42,6 +42,7 @@ from repro.nand.spec import sim_spec
 from repro.reliability.retention import SECONDS_PER_HOUR
 from repro.scenario.run import execute_scenario
 from repro.scenario.spec import ScenarioSpec
+from repro.sim.arrival import ArrivalSpec
 
 #: Environment switch shared with the bench suite: shrink everything
 #: to CI-smoke size.
@@ -194,8 +195,27 @@ def perf_cases(scale: PerfScale) -> list[PerfCase]:
                     num_channels=2,
                 ),
                 mode="timed",
-                queue_depth=64,
-                arrival_scale=8.0,
+                arrival=ArrivalSpec(queue_depth=64, scale=8.0),
+            ),
+        )
+    )
+    # The closed-loop driver under the gate: a fixed-population replay
+    # on a multi-plane device, so admission bookkeeping, the per-plane
+    # resource overlay and multi-plane command fusion are all timed.
+    cases.append(
+        PerfCase(
+            "timed/closed-loop",
+            ScenarioSpec(
+                workload="web-sql",
+                num_requests=scale.num_requests,
+                device=sim_spec(
+                    blocks_per_chip=max(24, scale.blocks_per_chip // 4),
+                    num_chips=4,
+                    num_channels=2,
+                    planes_per_chip=2,
+                ),
+                mode="timed",
+                arrival=ArrivalSpec(mode="closed", queue_depth=64),
             ),
         )
     )
@@ -220,8 +240,7 @@ def perf_cases(scale: PerfScale) -> list[PerfCase]:
                 retention_age_s=24.0 * SECONDS_PER_HOUR,
                 faults=FaultSpec(rate=0.005, burst=4, target="mixed"),
                 mode="timed",
-                queue_depth=64,
-                arrival_scale=8.0,
+                arrival=ArrivalSpec(queue_depth=64, scale=8.0),
             ),
         )
     )

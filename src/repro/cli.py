@@ -92,6 +92,7 @@ from repro.scenario.sweep import (
     sweep,
 )
 from repro.scenario.run import build_trace, execute_scenario
+from repro.sim.arrival import ArrivalSpec
 from repro.traces.msr import read_msr_csv
 from repro.traces.stats import characterize
 from repro.traces.workloads import WORKLOADS as _WORKLOADS
@@ -146,10 +147,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="host-interface channels (must divide --chips)",
     )
     run.add_argument(
+        "--planes",
+        type=int,
+        default=1,
+        help="planes per chip (timed mode overlaps them; FTLs stripe "
+        "writes across per-plane append points)",
+    )
+    run.add_argument(
+        "--arrival-mode",
+        choices=["open", "closed"],
+        default="open",
+        help="timed mode: open replays trace timestamps; closed keeps "
+        "a fixed --queue-depth population outstanding",
+    )
+    run.add_argument(
         "--queue-depth",
         type=int,
         default=0,
-        help="timed mode: bound on in-flight requests (0 = unbounded)",
+        help="timed mode: bound on in-flight requests (0 = unbounded; "
+        "closed mode: the outstanding population, required >= 1)",
     )
     run.add_argument(
         "--arrival-scale",
@@ -641,14 +657,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 page_size=args.page_size,
                 num_chips=args.chips,
                 num_channels=args.channels,
+                planes_per_chip=args.planes,
             ),
             ftl=args.ftl,
             # replay_trace's historical default, kept so the command's
             # output is unchanged by the migration off the shim.
             warm_fill_fraction=0.9,
             mode=args.mode,
-            queue_depth=args.queue_depth,
-            arrival_scale=args.arrival_scale,
+            arrival=ArrivalSpec(
+                mode=args.arrival_mode,
+                queue_depth=args.queue_depth,
+                scale=args.arrival_scale,
+            ),
         )
         result = execute_scenario(scenario, build_trace(scenario))
     except ConfigError as exc:

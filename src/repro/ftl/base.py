@@ -26,7 +26,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import OutOfSpaceError
-from repro.ftl.blockinfo import BlockManager, chip_striped_order
+from repro.ftl.blockinfo import (
+    BlockManager,
+    BlockState,
+    plane_groups,
+    plane_striped_order,
+)
 from repro.ftl.gc import (
     GreedyVictimPolicy,
     ReliabilityAwareGreedyPolicy,
@@ -40,6 +45,9 @@ from repro.nand.device import NandDevice
 if TYPE_CHECKING:  # imported lazily to keep repro.ftl free of cycles
     from repro.reliability.manager import ReliabilityManager
     from repro.reliability.refresh import RefreshPolicy
+
+#: int view of the FULL state for the fused-erase sibling scan.
+_FULL_STATE = int(BlockState.FULL)
 
 
 @dataclass(frozen=True)
@@ -79,11 +87,18 @@ class BaseFTL(ReliabilityHost):
         # Chip-striped free order: consecutive allocations rotate chips,
         # so multi-chip devices spread data (and the timed mode's chip
         # queues) across the array; identity on single-chip devices.
+        # Multi-plane devices additionally rotate planes and group the
+        # free pool per (chip, plane) so write streams can target planes.
+        planes = self.spec.planes_per_chip
+        self._planes = planes
         self.blocks = BlockManager(
             self.spec.total_blocks,
             self.spec.pages_per_block,
-            free_order=chip_striped_order(
-                self.spec.total_blocks, self.spec.blocks_per_chip
+            free_order=plane_striped_order(
+                self.spec.total_blocks, self.spec.blocks_per_chip, planes
+            ),
+            group_of=plane_groups(
+                self.spec.total_blocks, self.spec.blocks_per_chip, planes
             ),
         )
         self.stats = FtlStats()
@@ -164,7 +179,7 @@ class BaseFTL(ReliabilityHost):
         self._op_sequence += 1
         if nbytes is None:
             nbytes = self._page_size
-        if len(self.blocks.free_pool) > self.gc_low_blocks:
+        if self.blocks.free_count > self.gc_low_blocks:
             gc_latency = 0.0
         else:
             gc_latency = self._ensure_space()
@@ -320,6 +335,24 @@ class BaseFTL(ReliabilityHost):
             stats.gc_write_us += write_us
             latency += read_us + write_us
             self._on_gc_copy(lpn, ppn, dst)
+        siblings = self._fused_erase_siblings(victim) if self._planes > 1 else None
+        if siblings:
+            # Zero-valid FULL siblings ride the victim's erase for free:
+            # one multi-plane command reclaims every plane's block for a
+            # single array time (WAF-neutral — nothing is relocated).
+            pbns = [victim, *siblings]
+            erase_us = self.device.erase_multi_pbn(pbns)
+            stats.erase_count += len(pbns)
+            stats.erase_us += erase_us
+            stats.bump("gc.fused_erases", float(len(siblings)))
+            latency += erase_us
+            for pbn in pbns:
+                self.blocks.note_erased(pbn)
+                self.victim_policy.note_block_erased(pbn)
+                self._reliability_note_erase(pbn)
+                self._on_erase(pbn)
+                self.blocks.release(pbn)
+            return latency
         erase_us = self.device.erase_pbn(victim)
         self.stats.erase_count += 1
         self.stats.erase_us += erase_us
@@ -330,6 +363,37 @@ class BaseFTL(ReliabilityHost):
         self._on_erase(victim)
         self.blocks.release(victim)
         return latency
+
+    def _fused_erase_siblings(self, victim: int) -> list[int]:
+        """Sibling-plane blocks eligible to ride ``victim``'s erase.
+
+        One block per other plane of the victim's chip, lowest PBN
+        first: FULL, zero valid pages, same content class (a translation
+        block never fuses with a data victim and vice versa — the
+        class-specific ``_on_erase`` bookkeeping must match).
+        """
+        planes = self._planes
+        bpc = self.spec.blocks_per_chip
+        chip_base = victim // bpc * bpc
+        victim_plane = victim % bpc % planes
+        blocks = self.blocks
+        state = blocks.state
+        valid = blocks.valid_count
+        klasses = blocks.klass
+        klass = klasses[victim]
+        siblings: list[int] = []
+        for plane in range(planes):
+            if plane == victim_plane:
+                continue
+            for pbn in range(chip_base + plane, chip_base + bpc, planes):
+                if (
+                    state[pbn] == _FULL_STATE
+                    and valid[pbn] == 0
+                    and klasses[pbn] == klass
+                ):
+                    siblings.append(pbn)
+                    break
+        return siblings
 
     # ------------------------------------------------------------------
     # ReliabilityHost contract: refresh rides the GC relocation path

@@ -60,6 +60,51 @@ def chip_striped_order(num_blocks: int, blocks_per_chip: int) -> "range | list[i
     ]
 
 
+def plane_striped_order(
+    num_blocks: int, blocks_per_chip: int, planes_per_chip: int
+) -> "range | list[int]":
+    """Initial free-pool order interleaving chips *and* planes.
+
+    Extends :func:`chip_striped_order` one level down: consecutive
+    allocations rotate through every (chip, plane) pair before reusing
+    one, so write streams stripe across the planes the timed replay can
+    overlap.  Blocks interleave across planes (in-chip block ``b`` sits
+    on plane ``b % planes_per_chip``, see
+    :meth:`~repro.nand.geometry.Geometry.plane_of_pbn`), so the ``j``-th
+    block of a plane is ``plane + j * planes_per_chip``.  With one plane
+    per chip this *is* ``chip_striped_order`` — byte-identical, keeping
+    every existing replay untouched.
+    """
+    if planes_per_chip <= 1:
+        return chip_striped_order(num_blocks, blocks_per_chip)
+    num_chips = num_blocks // blocks_per_chip
+    blocks_per_plane = blocks_per_chip // planes_per_chip
+    return [
+        chip * blocks_per_chip + plane + slot * planes_per_chip
+        for slot in range(blocks_per_plane)
+        for chip in range(num_chips)
+        for plane in range(planes_per_chip)
+    ]
+
+
+def plane_groups(
+    num_blocks: int, blocks_per_chip: int, planes_per_chip: int
+) -> "list[int] | None":
+    """Per-block (chip, plane) group ids for :class:`BlockManager`.
+
+    Group ``chip * planes_per_chip + plane`` for each block; ``None``
+    for single-plane devices, which keeps the manager in its ungrouped
+    (historical, byte-identical) mode.
+    """
+    if planes_per_chip <= 1:
+        return None
+    return [
+        (pbn // blocks_per_chip) * planes_per_chip
+        + (pbn % blocks_per_chip) % planes_per_chip
+        for pbn in range(num_blocks)
+    ]
+
+
 class BlockManager:
     """Tracks state, valid counts and the free pool for all blocks.
 
@@ -69,6 +114,14 @@ class BlockManager:
     cheaper than numpy scalar indexing at that granularity.  The GC-rate
     queries (:meth:`victim_candidates`) still hand numpy arrays to the
     victim policies.
+
+    With ``group_of`` set (one group id per block — the FTLs pass the
+    block's (chip, plane) pair), the free pool splits into per-group
+    FIFOs: plain :meth:`allocate` rotates round-robin through non-empty
+    groups and :meth:`allocate_in_group` targets one group (falling back
+    to the rotation when it is dry), so allocations spread across planes
+    even under churn.  Ungrouped managers — every device with one plane
+    per chip — keep the single historical FIFO, byte for byte.
     """
 
     def __init__(
@@ -76,6 +129,7 @@ class BlockManager:
         num_blocks: int,
         pages_per_block: int,
         free_order: "list[int] | range | None" = None,
+        group_of: "list[int] | None" = None,
     ) -> None:
         if num_blocks < 2:
             raise FtlError(f"need at least 2 blocks, got {num_blocks}")
@@ -90,7 +144,29 @@ class BlockManager:
             free_order = range(num_blocks)
         elif len(free_order) != num_blocks or set(free_order) != set(range(num_blocks)):
             raise FtlError(f"free_order must be a permutation of range({num_blocks})")
-        self.free_pool: deque[int] = deque(free_order)
+        if group_of is None:
+            self.group_of: "list[int] | None" = None
+            self.num_groups = 1
+            self._group_pools: "list[deque[int]] | None" = None
+            self.free_pool: "deque[int] | None" = deque(free_order)
+        else:
+            if len(group_of) != num_blocks:
+                raise FtlError(
+                    f"group_of must map all {num_blocks} blocks, got {len(group_of)}"
+                )
+            self.group_of = list(group_of)
+            self.num_groups = max(self.group_of) + 1
+            if set(self.group_of) != set(range(self.num_groups)):
+                raise FtlError("group_of ids must cover a contiguous 0..G-1 range")
+            pools: "list[deque[int]]" = [deque() for _ in range(self.num_groups)]
+            for pbn in free_order:
+                pools[self.group_of[pbn]].append(pbn)
+            self._group_pools = pools
+            self._rr_group = 0
+            self._free = num_blocks
+            #: grouped managers have no single FIFO; loud None so stale
+            #: ungrouped-style callers fail instead of drifting.
+            self.free_pool = None
 
     # ------------------------------------------------------------------
     # Free pool
@@ -99,13 +175,54 @@ class BlockManager:
     @property
     def free_count(self) -> int:
         """Blocks currently in the free pool."""
-        return len(self.free_pool)
+        if self._group_pools is None:
+            return len(self.free_pool)
+        return self._free
 
     def allocate(self) -> int:
-        """Take a block from the free pool and mark it OPEN."""
-        if not self.free_pool:
-            raise OutOfSpaceError("free block pool exhausted")
-        pbn = self.free_pool.popleft()
+        """Take a block from the free pool and mark it OPEN.
+
+        Grouped managers rotate round-robin through non-empty groups, so
+        back-to-back allocations land on different planes.
+        """
+        if self._group_pools is None:
+            if not self.free_pool:
+                raise OutOfSpaceError("free block pool exhausted")
+            pbn = self.free_pool.popleft()
+            self.state[pbn] = _OPEN
+            return pbn
+        return self._allocate_rotating()
+
+    def _allocate_rotating(self) -> int:
+        pools = self._group_pools
+        num_groups = self.num_groups
+        start = self._rr_group
+        for step in range(num_groups):
+            group = (start + step) % num_groups
+            if pools[group]:
+                self._rr_group = (group + 1) % num_groups
+                return self._take_from_group(group)
+        raise OutOfSpaceError("free block pool exhausted")
+
+    def allocate_in_group(self, group: int) -> int:
+        """Take a block from one group's pool (plane-targeted allocation).
+
+        Falls back to the round-robin rotation when the group is dry —
+        a write stream never starves just because its plane ran out.
+        Ungrouped managers ignore the hint.
+        """
+        pools = self._group_pools
+        if pools is None:
+            return self.allocate()
+        if not 0 <= group < self.num_groups:
+            raise FtlError(f"group {group} out of range [0, {self.num_groups})")
+        if pools[group]:
+            return self._take_from_group(group)
+        return self._allocate_rotating()
+
+    def _take_from_group(self, group: int) -> int:
+        pbn = self._group_pools[group].popleft()
+        self._free -= 1
         self.state[pbn] = _OPEN
         return pbn
 
@@ -118,7 +235,11 @@ class BlockManager:
             )
         self.state[pbn] = _FREE
         self.klass[pbn] = DATA_KLASS
-        self.free_pool.append(pbn)
+        if self._group_pools is None:
+            self.free_pool.append(pbn)
+        else:
+            self._group_pools[self.group_of[pbn]].append(pbn)
+            self._free += 1
 
     # ------------------------------------------------------------------
     # Valid-count accounting

@@ -62,16 +62,46 @@ class ConventionalFTL(BaseFTL):
             self.name = "conventional-2s"
         self._host_active: int | None = None
         self._gc_active: int | None = None
+        # Multi-plane devices keep one append point per (chip, plane)
+        # and rotate host writes through them, so concurrent requests
+        # land on different planes and the timed replay can overlap the
+        # array times.  Single-plane devices keep the single active
+        # block, byte for byte.
+        if self._planes > 1:
+            ways = self.blocks.num_groups
+            self._host_slots: "list[int | None] | None" = [None] * ways
+            self._host_cursor = 0
+        else:
+            self._host_slots = None
 
     # ------------------------------------------------------------------
     # Placement: next free page of the stream's active block
     # ------------------------------------------------------------------
 
     def _alloc_ppn(self, lpn: int, ctx: WriteContext) -> int:
-        if ctx.is_gc and self.separate_gc_stream:
+        if self._host_slots is not None:
+            # Only host writes stripe.  GC relocations keep one bounded
+            # append point: striping them could open one block per
+            # (chip, plane) group right at the low watermark and
+            # exhaust the pool mid-collect.
+            if not ctx.is_gc:
+                return self._alloc_striped()
+            pbn = self._ensure_active("_gc_active")
+        elif ctx.is_gc and self.separate_gc_stream:
             pbn = self._ensure_active("_gc_active")
         else:
             pbn = self._ensure_active("_host_active")
+        return pbn * self._ppb + self.device.next_page(pbn)
+
+    def _alloc_striped(self) -> int:
+        """Rotate the host append point across (chip, plane) slots."""
+        slots = self._host_slots
+        slot = self._host_cursor
+        self._host_cursor = (slot + 1) % len(slots)
+        pbn = slots[slot]
+        if pbn is None or self.device.is_block_full(pbn):
+            pbn = self.blocks.allocate_in_group(slot)
+            slots[slot] = pbn
         return pbn * self._ppb + self.device.next_page(pbn)
 
     def _ensure_active(self, attr: str) -> int:
@@ -84,6 +114,10 @@ class ConventionalFTL(BaseFTL):
 
     def _active_blocks(self) -> set[int]:
         active = set()
+        if self._host_slots is not None:
+            for pbn in self._host_slots:
+                if pbn is not None:
+                    active.add(pbn)
         if self._host_active is not None:
             active.add(self._host_active)
         if self._gc_active is not None:
@@ -91,6 +125,10 @@ class ConventionalFTL(BaseFTL):
         return active
 
     def _on_block_full(self, pbn: int) -> None:
+        if self._host_slots is not None:
+            for i, open_pbn in enumerate(self._host_slots):
+                if open_pbn == pbn:
+                    self._host_slots[i] = None
         if pbn == self._host_active:
             self._host_active = None
         if pbn == self._gc_active:

@@ -265,7 +265,7 @@ class DFTL(ConventionalFTL):
         stall = 0.0
         pbn = self._trans_active
         if pbn is None or self.device.is_block_full(pbn):
-            if not self._in_collect and len(self.blocks.free_pool) <= self.gc_low_blocks:
+            if not self._in_collect and self.blocks.free_count <= self.gc_low_blocks:
                 stall = self._ensure_space()
             pbn = self.blocks.allocate()
             self.blocks.set_klass(pbn, TRANS_KLASS)

@@ -40,7 +40,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.errors import FtlError, OutOfSpaceError
-from repro.ftl.blockinfo import BlockManager, chip_striped_order
+from repro.ftl.blockinfo import BlockManager, plane_groups, plane_striped_order
 from repro.ftl.mapping import UNMAPPED, PageMapTable
 from repro.ftl.reliability_hooks import ReliabilityHost
 from repro.ftl.stats import FtlStats
@@ -74,11 +74,19 @@ class FastFTL(ReliabilityHost):
         self.map = PageMapTable(self.num_lpns, self.spec.total_pages)
         # Chip-striped free order (identity on single-chip devices): log
         # and data blocks rotate chips, spreading timed-mode chip load.
+        # Multi-plane devices also rotate planes via the grouped pool.
         self.blocks = BlockManager(
             self.spec.total_blocks,
             pages,
-            free_order=chip_striped_order(
-                self.spec.total_blocks, self.spec.blocks_per_chip
+            free_order=plane_striped_order(
+                self.spec.total_blocks,
+                self.spec.blocks_per_chip,
+                self.spec.planes_per_chip,
+            ),
+            group_of=plane_groups(
+                self.spec.total_blocks,
+                self.spec.blocks_per_chip,
+                self.spec.planes_per_chip,
             ),
         )
         self.stats = FtlStats()

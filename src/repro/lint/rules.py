@@ -762,13 +762,17 @@ class Reg001Registries(Rule):
 #: the audited command surface: the only methods that may accumulate
 #: device time or touch the service-report log.
 _OPLOG_ENTRY_POINTS = {
-    "NandChip": frozenset({"read", "program", "copyback", "erase"}),
+    "NandChip": frozenset(
+        {"read", "program", "copyback", "erase", "multi_program", "multi_erase"}
+    ),
     "NandDevice": frozenset(
         {
             "read_ppn",
             "program_ppn",
             "copy_page",
             "erase_pbn",
+            "program_multi_ppn",
+            "erase_multi_pbn",
             "note_retry",
             "note_recovery",
             "begin_oplog",

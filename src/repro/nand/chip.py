@@ -210,6 +210,84 @@ class NandChip:
         self.erase_histogram.record(block)
         return latency
 
+    def _check_sibling_planes(self, blocks: "list[int]", op: str) -> None:
+        """Fused commands must address one block per distinct plane."""
+        if not blocks:
+            raise AddressError(f"chip {self.chip_id}: {op} of zero blocks")
+        planes = self.spec.planes_per_chip
+        seen: set[int] = set()
+        for block in blocks:
+            if not 0 <= block < self._num_blocks:
+                self._check_block(block)
+            plane = block % planes
+            if plane in seen:
+                raise AddressError(
+                    f"chip {self.chip_id}: {op} blocks {blocks} do not sit "
+                    f"on distinct planes (plane {plane} repeated)"
+                )
+            seen.add(plane)
+
+    def multi_program(
+        self,
+        blocks: "list[int]",
+        page: int,
+        tags: "list[Any] | None" = None,
+        include_transfer: bool = True,
+    ) -> float:
+        """Multi-plane program: one page per sibling plane, fused.
+
+        All planes program the *same* page index (the multi-plane
+        addressing rule real chips enforce) and share one array time;
+        each plane's page register is still loaded separately, so the
+        transfers serialize.  Returns the fused latency
+        ``n * transfer + array`` (array only without transfer), which is
+        also what the stats bill — the die is busy exactly that long.
+        """
+        self._check_sibling_planes(blocks, "multi-plane program")
+        if not 0 <= page < self._num_pages:
+            self._check_page(page)
+        for block in blocks:
+            expected = self.write_ptr[block]
+            if page < expected:
+                raise ProgramOrderError(
+                    f"chip {self.chip_id}: non-ascending program of block "
+                    f"{block}: got page {page}, write pointer at {expected}"
+                )
+        for index, block in enumerate(blocks):
+            self.write_ptr[block] = page + 1
+            self.programmed[block][page] = 1
+            tag = tags[index] if tags is not None else None
+            if tag is not None:
+                self._tags.setdefault(block, {})[page] = tag
+        array_us = self._program_array_us[page]
+        latency = array_us
+        if include_transfer:
+            latency += (self._program_total_us[page] - array_us) * len(blocks)
+        stats = self.stats
+        stats.programs += len(blocks)
+        stats.program_us += latency
+        return latency
+
+    def multi_erase(self, blocks: "list[int]") -> float:
+        """Multi-plane erase: sibling-plane blocks erased for one array time.
+
+        Every block resets (write pointer, programmed map, wear count)
+        exactly as :meth:`erase` would, but the planes erase in parallel,
+        so the chip is busy — and the stats bill — one erase latency
+        total.  Returns that fused latency.
+        """
+        self._check_sibling_planes(blocks, "multi-plane erase")
+        for block in blocks:
+            self.write_ptr[block] = 0
+            self.programmed[block] = bytearray(self._num_pages)
+            self.erase_counts[block] += 1
+            self._tags.pop(block, None)
+            self.erase_histogram.record(block)
+        latency = self.latency.erase_us()
+        self.stats.record_erase(latency)
+        self.stats.erases += len(blocks) - 1
+        return latency
+
     # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------

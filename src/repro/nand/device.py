@@ -12,16 +12,22 @@ The timed replay mode needs to know *which chip* each command busied
 and for how long, split into array time (occupies only the chip) and
 bus-transfer time (occupies the chip *and* its channel).  Between
 :meth:`NandDevice.begin_oplog` and :meth:`NandDevice.end_oplog` every
-command appends one ``(chip, array_us, transfer_us)`` segment — GC,
-merges and refresh relocations included, since they flow through the
-same four command entry points.  With no log armed (sequential replays,
-warm fill) the per-command cost is a single ``is not None`` check.
+command appends one ``(chip, plane, array_us, transfer_us)`` segment —
+GC, merges and refresh relocations included, since they flow through
+the same command entry points.  The plane index lets the timed replay
+overlay per-plane concurrency on multi-plane devices; fused multi-plane
+commands append one segment per sibling plane, each carrying the shared
+array time (the planes really are busy in parallel, so — unlike
+:meth:`note_recovery` — the logged busy time deliberately exceeds the
+sequential bill).  With no log armed (sequential replays, warm fill)
+the per-command cost is a single ``is not None`` check.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.errors import AddressError
 from repro.nand.chip import NandChip
 from repro.nand.geometry import Geometry
 from repro.nand.latency import LatencyModel
@@ -44,8 +50,9 @@ class NandDevice:
         self._blocks_per_chip = spec.blocks_per_chip
         self._total_pages = spec.total_pages
         self._total_blocks = spec.total_blocks
+        self._planes = spec.planes_per_chip
         #: armed service-report log (see module docstring); ``None`` off.
-        self.oplog: list[tuple[int, float, float]] | None = None
+        self.oplog: list[tuple[int, int, float, float]] | None = None
         self._page_transfer_us = self.latency.transfer_us()
         if spec.num_chips == 1:
             # Single-chip devices (every spec the paper sweeps) can skip
@@ -59,12 +66,12 @@ class NandDevice:
     # Service reporting (timed-mode op log)
     # ------------------------------------------------------------------
 
-    def begin_oplog(self) -> list[tuple[int, float, float]]:
+    def begin_oplog(self) -> list[tuple[int, int, float, float]]:
         """Arm the service report; returns the (live) segment list."""
         self.oplog = []
         return self.oplog
 
-    def end_oplog(self) -> list[tuple[int, float, float]]:
+    def end_oplog(self) -> list[tuple[int, int, float, float]]:
         """Disarm the service report; returns the collected segments."""
         ops, self.oplog = self.oplog, None
         return ops if ops is not None else []
@@ -87,9 +94,11 @@ class NandDevice:
             # coupled to the latency actually billed.
             step_us = self.latency.retry_step_us[page]
             transfer_share = retry_us * (transfer / step_us)
+            block_in_chip = ppn // self._pages_per_block % self._blocks_per_chip
             log.append(
                 (
                     self.geometry.chip_of_ppn(ppn),
+                    block_in_chip % self._planes,
                     retry_us - transfer_share,
                     transfer_share,
                 )
@@ -117,8 +126,11 @@ class NandDevice:
         share = recovery_us / num_chips
         transfer_share = share * (self._page_transfer_us / step_us)
         array_share = share - transfer_share
+        # Each chip re-reads its page of the stripe; the stripe sits at
+        # the same in-chip position on every chip, hence one plane index.
+        plane = ppn // self._pages_per_block % self._blocks_per_chip % self._planes
         for chip in range(num_chips):
-            log.append((chip, array_share, transfer_share))
+            log.append((chip, plane, array_share, transfer_share))
 
     # ------------------------------------------------------------------
     # Flat-address commands (hot path)
@@ -135,6 +147,7 @@ class NandDevice:
             log.append(
                 (
                     chip,
+                    block % self._planes,
                     self.latency.read_array_us[page],
                     self._page_transfer_us if include_transfer else 0.0,
                 )
@@ -152,6 +165,7 @@ class NandDevice:
             log.append(
                 (
                     chip,
+                    block % self._planes,
                     self.latency.program_array_us[page],
                     self._page_transfer_us if include_transfer else 0.0,
                 )
@@ -187,8 +201,9 @@ class NandDevice:
             result = (read_us, program_us)
         log = self.oplog
         if log is not None:
-            log.append((src_chip, result[0], 0.0))
-            log.append((dst_chip, result[1], 0.0))
+            planes = self._planes
+            log.append((src_chip, src_block % planes, result[0], 0.0))
+            log.append((dst_chip, dst_block % planes, result[1], 0.0))
         return result
 
     def erase_pbn(self, pbn: int) -> float:
@@ -197,7 +212,79 @@ class NandDevice:
         latency = self.chips[chip].erase(block)
         log = self.oplog
         if log is not None:
-            log.append((chip, latency, 0.0))
+            log.append((chip, block % self._planes, latency, 0.0))
+        return latency
+
+    def _split_siblings(self, pbns: "list[int]", op: str) -> tuple[int, list[int]]:
+        """Resolve a fused command's blocks to (chip, in-chip blocks).
+
+        All blocks must live on one chip; the per-plane distinctness
+        check belongs to the chip (:meth:`NandChip._check_sibling_planes`).
+        """
+        if not pbns:
+            raise AddressError(f"{op} of zero blocks")
+        chips_blocks = [self.geometry.split_pbn(pbn) for pbn in pbns]
+        chip = chips_blocks[0][0]
+        if any(c != chip for c, _ in chips_blocks):
+            raise AddressError(
+                f"{op} blocks {pbns} span chips "
+                f"{sorted({c for c, _ in chips_blocks})}; siblings share one chip"
+            )
+        return chip, [block for _, block in chips_blocks]
+
+    def program_multi_ppn(
+        self,
+        ppns: "list[int]",
+        tags: "list[Any] | None" = None,
+        include_transfer: bool = True,
+    ) -> float:
+        """Multi-plane program: same page index on sibling-plane blocks.
+
+        The planes share one array time while the page-register loads
+        (transfers) serialize; returns — and the op log bills per plane —
+        accordingly: each sibling's segment carries the shared array
+        time plus its own transfer.  Raises
+        :class:`~repro.errors.AddressError` unless the PPNs address one
+        chip, distinct planes, and one common page index.
+        """
+        chip, blocks = self._split_siblings(
+            [ppn // self._pages_per_block for ppn in ppns], "multi-plane program"
+        )
+        pages = [ppn % self._pages_per_block for ppn in ppns]
+        page = pages[0]
+        if any(p != page for p in pages):
+            raise AddressError(
+                f"multi-plane program pages {sorted(set(pages))} differ; "
+                f"sibling planes program one page index"
+            )
+        latency = self.chips[chip].multi_program(
+            blocks, page, tags=tags, include_transfer=include_transfer
+        )
+        log = self.oplog
+        if log is not None:
+            array_us = self.latency.program_array_us[page]
+            transfer = self._page_transfer_us if include_transfer else 0.0
+            planes = self._planes
+            for block in blocks:
+                log.append((chip, block % planes, array_us, transfer))
+        return latency
+
+    def erase_multi_pbn(self, pbns: "list[int]") -> float:
+        """Multi-plane erase: sibling-plane blocks for one array time.
+
+        Every block is erased (wear counted per block) but the planes
+        work in parallel, so the returned latency is a single erase
+        time; the op log gets one segment per plane, each carrying that
+        shared array time.  Raises :class:`~repro.errors.AddressError`
+        unless the PBNs address one chip and distinct planes.
+        """
+        chip, blocks = self._split_siblings(pbns, "multi-plane erase")
+        latency = self.chips[chip].multi_erase(blocks)
+        log = self.oplog
+        if log is not None:
+            planes = self._planes
+            for block in blocks:
+                log.append((chip, block % planes, latency, 0.0))
         return latency
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ class Geometry:
         self.num_channels = spec.num_channels
         self.total_blocks = spec.total_blocks
         self.total_pages = spec.total_pages
+        self.planes_per_chip = spec.planes_per_chip
         #: pages per chip, for the flat chip-of-PPN arithmetic.
         self.pages_per_chip = spec.blocks_per_chip * spec.pages_per_block
 
@@ -97,6 +98,26 @@ class Geometry:
         if not 0 <= ppn < self.total_pages:
             self.check_ppn(ppn)
         return ppn // self.pages_per_chip
+
+    def plane_of_pbn(self, pbn: int) -> int:
+        """Plane (inside its chip) holding block ``pbn``.
+
+        Blocks interleave across planes (in-chip block ``b`` sits on
+        plane ``b % planes_per_chip``), mirroring the chip-across-channel
+        interleave: consecutive blocks of a chip land on different
+        planes, so a striped free pool spreads plane load for free.
+        """
+        if not 0 <= pbn < self.total_blocks:
+            self.check_pbn(pbn)
+        return (pbn % self.blocks_per_chip) % self.planes_per_chip
+
+    def plane_of_ppn(self, ppn: int) -> int:
+        """Plane (inside its chip) holding ``ppn``."""
+        if not 0 <= ppn < self.total_pages:
+            self.check_ppn(ppn)
+        return (
+            ppn // self.pages_per_block % self.blocks_per_chip
+        ) % self.planes_per_chip
 
     def channel_of_chip(self, chip: int) -> int:
         """Host-interface channel chip ``chip`` is wired to.

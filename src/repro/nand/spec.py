@@ -57,6 +57,15 @@ class NandSpec:
     #: mode models channel contention — sequential-mode latencies are
     #: per-operation sums and do not overlap transfers.
     num_channels: int = 1
+    #: Planes per chip.  Blocks interleave across planes (block ``b`` of
+    #: a chip sits on plane ``b % planes_per_chip``, mirroring the
+    #: chip-across-channel interleave); must divide ``blocks_per_chip``
+    #: so every plane holds the same number of blocks.  Planes buy
+    #: concurrency only in the timed replay mode (each plane's page
+    #: register works independently while the die I/O port and channel
+    #: serialize transfers) and enable multi-plane program/erase fusion;
+    #: sequential-mode latencies are unchanged.
+    planes_per_chip: int = 1
     #: Number of gate stack layers a vertical channel crosses.  Pages map
     #: onto layers in order; several pages may share one layer.
     num_layers: int = 64
@@ -98,6 +107,16 @@ class NandSpec:
             raise ConfigError(
                 f"num_channels ({self.num_channels}) must divide num_chips "
                 f"({self.num_chips}) so channels serve equal chip counts"
+            )
+        if self.planes_per_chip < 1:
+            raise ConfigError(
+                f"planes_per_chip must be >= 1, got {self.planes_per_chip}"
+            )
+        if self.blocks_per_chip % self.planes_per_chip:
+            raise ConfigError(
+                f"planes_per_chip ({self.planes_per_chip}) must divide "
+                f"blocks_per_chip ({self.blocks_per_chip}) so planes hold "
+                f"equal block counts"
             )
         if self.num_layers < 1:
             raise ConfigError(f"num_layers must be >= 1, got {self.num_layers}")
@@ -172,6 +191,15 @@ class NandSpec:
         return self.num_chips // self.num_channels
 
     @property
+    def blocks_per_plane(self) -> int:
+        """Blocks each plane of a chip holds.
+
+        The block -> plane mapping itself lives in one place only:
+        :meth:`repro.nand.geometry.Geometry.plane_of_pbn`.
+        """
+        return self.blocks_per_chip // self.planes_per_chip
+
+    @property
     def pages_per_layer(self) -> int:
         """How many consecutive page indices share one gate stack layer.
 
@@ -232,6 +260,11 @@ class NandSpec:
             + (
                 [f"Chips / channels     {self.num_chips} / {self.num_channels}"]
                 if self.num_chips > 1 or self.num_channels > 1
+                else []
+            )
+            + (
+                [f"Planes per chip      {self.planes_per_chip}"]
+                if self.planes_per_chip > 1
                 else []
             )
         )

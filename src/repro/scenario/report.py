@@ -137,6 +137,12 @@ def timed_summary_lines(result: RunResult) -> list[str]:
             f"max {result.extra['timed.chip_util_max']:.2f} "
             f"(bus max {result.extra['timed.bus_util_max']:.2f})"
         )
+    plane_util = result.extra.get("timed.plane_util_mean")
+    if plane_util is not None:
+        lines.append(
+            f"plane utilization mean {plane_util:.2f}, "
+            f"max {result.extra['timed.plane_util_max']:.2f}"
+        )
     return lines
 
 
@@ -157,6 +163,9 @@ def sweep_table(
     )
     any_reread = any(s.reread_age_s > 0 for s in specs)
     any_timed = any(s.mode == "timed" for s in specs)
+    any_closed = any(
+        s.mode == "timed" and s.effective_arrival.is_closed for s in specs
+    )
     any_mapping = any(s.ftl == "dftl" for s in specs)
     any_trim = any(r.trim_requests for r in results)
     tenant_names: list[str] = []
@@ -179,6 +188,10 @@ def sweep_table(
         # The queueing view: response-time percentiles per request
         # class, plus the replay's throughput.
         headers += ["rd p50", "rd p95", "rd p99", "wr p50", "wr p95", "wr p99", "kIOPS"]
+    if any_closed:
+        # The saturation view: closed-loop throughput, tagged with the
+        # population that produced it.
+        headers += ["KIOPS@QD"]
     for name in tenant_names:
         # The isolation view: each tenant's own response-time tail.
         headers += [f"{name} p50", f"{name} p99"]
@@ -228,6 +241,14 @@ def sweep_table(
                 row.append(f"{result.throughput_kiops:.2f}")
             else:
                 row += ["-"] * 7
+        if any_closed:
+            arrival = spec.effective_arrival
+            if spec.mode == "timed" and arrival.is_closed:
+                row.append(
+                    f"{result.throughput_kiops:.2f}@{arrival.queue_depth}"
+                )
+            else:
+                row.append("-")
         if tenant_names:
             per_tenant = result.tenant_response_percentiles()
             for name in tenant_names:

@@ -165,8 +165,7 @@ def execute_scenario(spec: ScenarioSpec, trace: Trace) -> RunResult:
     result = ssd.replay(
         fitted,
         mode=spec.mode,
-        queue_depth=spec.queue_depth,
-        arrival_scale=spec.arrival_scale,
+        arrival=spec.effective_arrival,
         tenants=spec.tenant_partitions(),
     )
     if spec.reread_age_s > 0:
@@ -213,8 +212,7 @@ def _reread_aged(
     reread = ssd.replay(
         fitted.reads_only(),
         mode=spec.mode,
-        queue_depth=spec.queue_depth,
-        arrival_scale=spec.arrival_scale,
+        arrival=spec.effective_arrival,
     )
     pages = stats.host_read_pages - read_pages_before
     # ssd.replay finalizes means from the cumulative FTL stats; carve

@@ -38,6 +38,7 @@ from repro.reliability.faults import FaultSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
 from repro.scenario.sweep import SweepAxis
+from repro.sim.arrival import ArrivalSpec
 
 #: keys a scenario *file* may carry beyond the spec fields.
 FILE_ONLY_KEYS = ("name", "description", "sweep")
@@ -49,6 +50,7 @@ _SECTIONS = {
     "reliability": ReliabilityConfig,
     "mapping": MappingConfig,
     "faults": FaultSpec,
+    "arrival": ArrivalSpec,
 }
 
 #: repeated sections (lists of sub-specs) and their element types.

@@ -28,6 +28,7 @@ Design rules
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.config import PPBConfig
@@ -37,6 +38,7 @@ from repro.ftl.transmap import MappingConfig
 from repro.nand.spec import NandSpec, sim_spec
 from repro.reliability.faults import FaultSpec
 from repro.reliability.manager import ReliabilityConfig
+from repro.sim.arrival import ArrivalSpec
 from repro.traces.workloads import WORKLOADS
 
 #: Replay modes the engine accepts (see :meth:`repro.sim.ssd.SSD.replay`).
@@ -231,13 +233,15 @@ class ScenarioSpec:
     #: "sequential" (service-time accounting) or "timed" (queued
     #: arrivals with response-time percentiles).
     mode: str = "sequential"
-    #: timed mode: bound on in-flight requests (the host submission
-    #: queue); 0 = unbounded.  Arrivals block while the queue is full
-    #: and the admission wait counts toward response time.
+    #: timed mode: the arrival discipline (open trace-timestamped
+    #: arrivals or a closed fixed-QD population); ``None`` means the
+    #: open-loop defaults.  See :class:`~repro.sim.arrival.ArrivalSpec`.
+    arrival: ArrivalSpec | None = None
+    #: DEPRECATED spelling of ``arrival.queue_depth`` — folds into an
+    #: open-loop ``[arrival]`` section with a :class:`DeprecationWarning`.
     queue_depth: int = 0
-    #: timed mode: open-loop arrival-intensity scale — inter-arrival
-    #: gaps of the trace are divided by this, so 2.0 doubles the
-    #: offered load.  The saturation sweeps' axis.
+    #: DEPRECATED spelling of ``arrival.scale`` — folds into an
+    #: open-loop ``[arrival]`` section with a :class:`DeprecationWarning`.
     arrival_scale: float = 1.0
 
     def __post_init__(self) -> None:
@@ -308,10 +312,44 @@ class ScenarioSpec:
             )
         if self.reread_age_s < 0:
             raise ConfigError(f"reread_age_s must be >= 0, got {self.reread_age_s}")
-        if self.queue_depth < 0:
-            raise ConfigError(f"queue_depth must be >= 0, got {self.queue_depth}")
-        if not self.arrival_scale > 0:
-            raise ConfigError(f"arrival_scale must be > 0, got {self.arrival_scale}")
+        if self.arrival is not None and not isinstance(self.arrival, ArrivalSpec):
+            raise ConfigError(
+                f"arrival must be an ArrivalSpec, got {self.arrival!r}"
+            )
+        if self.queue_depth != 0 or self.arrival_scale != 1.0:
+            if self.arrival is not None:
+                raise ConfigError(
+                    "top-level queue_depth/arrival_scale are deprecated "
+                    "spellings of the [arrival] section and cannot be combined "
+                    "with it; set arrival.queue_depth / arrival.scale only"
+                )
+            # Fold the legacy knobs into a canonical open-loop [arrival]
+            # section and reset them, so equal experiments hash and
+            # serialize identically however they were spelled.
+            folded = ArrivalSpec(
+                queue_depth=self.queue_depth, scale=self.arrival_scale
+            )
+            warnings.warn(
+                "top-level queue_depth/arrival_scale are deprecated; use the "
+                "[arrival] section instead:\n"
+                f"    arrival = ArrivalSpec(queue_depth={self.queue_depth}, "
+                f"scale={self.arrival_scale:g})\n"
+                "(in TOML: an [arrival] table with queue_depth / scale keys)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            object.__setattr__(self, "arrival", folded)
+            object.__setattr__(self, "queue_depth", 0)
+            object.__setattr__(self, "arrival_scale", 1.0)
+        if (
+            self.arrival is not None
+            and self.arrival.is_closed
+            and self.mode != "timed"
+        ):
+            raise ConfigError(
+                'arrival.mode = "closed" requires mode = "timed" '
+                "(sequential replays have no arrival process)"
+            )
         if self.reread_age_s > 0 and self.reliability is None:
             raise ConfigError("reread_age_s requires the reliability stack")
         if (
@@ -322,6 +360,14 @@ class ScenarioSpec:
             raise ConfigError("faults.rate > 0 requires the reliability stack")
 
     # ------------------------------------------------------------------
+
+    @property
+    def effective_arrival(self) -> ArrivalSpec:
+        """The arrival discipline the timed engine actually uses
+        (open-loop defaults when no ``[arrival]`` section is given)."""
+        if self.arrival is None:
+            return ArrivalSpec()
+        return self.arrival
 
     @property
     def effective_warm_fill(self) -> float:
@@ -413,10 +459,7 @@ class ScenarioSpec:
         if self.reread_age_s:
             parts.append(f"reread={self.reread_age_s:g}s")
         if self.mode == "timed":
-            timed = f"timed(x{self.arrival_scale:g}"
-            if self.queue_depth:
-                timed += f", qd={self.queue_depth}"
-            parts.append(timed + ")")
+            parts.append(f"timed({self.effective_arrival.describe()})")
         return " ".join(parts)
 
 

@@ -10,7 +10,8 @@ and the values to try::
     SweepAxis("ppb.reliability_weight", (0.0, 2.0, 8.0))
     SweepAxis("workload_kwargs.zipf_theta", (0.5, 0.95))
     SweepAxis("reread_age_s", (0.0, 2.6e6))
-    SweepAxis("arrival_scale", (1.0, 4.0, 16.0))
+    SweepAxis("arrival.scale", (1.0, 4.0, 16.0))
+    SweepAxis("arrival.queue_depth", (1, 4, 16, 64))
 
 :func:`sweep` expands a base spec and axes into the cross-product (first
 axis outermost, values in the order given), each element a frozen
@@ -35,6 +36,7 @@ from repro.ftl.transmap import MappingConfig
 from repro.reliability.faults import FaultSpec
 from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.spec import ScenarioSpec
+from repro.sim.arrival import ArrivalSpec
 
 #: optional sections auto-created (with defaults) when a sweep sets a
 #: path beneath them.
@@ -43,6 +45,7 @@ _AUTO_SECTIONS = {
     "reliability": ReliabilityConfig,
     "mapping": MappingConfig,
     "faults": FaultSpec,
+    "arrival": ArrivalSpec,
 }
 
 #: repeated sections addressed by element: ``tenants.0.num_requests`` by

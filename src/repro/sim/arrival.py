@@ -1,0 +1,90 @@
+"""The arrival process of a timed replay, as one frozen spec.
+
+Two arrival disciplines drive the timed mode's queueing model:
+
+``open``
+    Requests arrive at their trace timestamps regardless of completions
+    (an *open loop*).  ``scale`` divides the inter-arrival gaps — the
+    offered-load knob of the saturation sweeps — and ``queue_depth``
+    bounds the host submission queue (0 = unbounded; arrivals block
+    while it is full, and the admission wait counts toward response
+    time).
+
+``closed``
+    A fixed population of ``queue_depth`` outstanding requests: each
+    completion immediately admits the next trace request (trace
+    timestamps are ignored — the *population*, not the clock, paces the
+    run).  This is how device saturation benchmarks are actually driven
+    (fio ``iodepth``), and the resulting
+    :attr:`~repro.sim.ssd.RunResult.throughput_kiops` at QD = N is the
+    primary metric of a QD sweep.
+
+``ArrivalSpec`` follows the repository's spec rules: frozen (usable as
+a cache key), scalar fields only, validated at construction with
+dotted-path error messages, and reachable by sweep paths
+(``arrival.queue_depth``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: arrival disciplines the timed replay accepts.
+VALID_ARRIVAL_MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How requests of a timed replay enter the device."""
+
+    #: "open" (trace-timestamped arrivals) or "closed" (fixed QD
+    #: population, each completion admits the next request).
+    mode: str = "open"
+    #: open mode: bound on in-flight requests (0 = unbounded host
+    #: queue).  Closed mode: the outstanding-request population
+    #: (must be >= 1 — a closed loop needs someone in it).
+    queue_depth: int = 0
+    #: open mode: inter-arrival gaps are divided by this, so 2.0
+    #: doubles the offered load.  Meaningless in closed mode (the
+    #: population paces the run), where it must stay 1.0.
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in VALID_ARRIVAL_MODES:
+            raise ConfigError(
+                f"arrival.mode must be one of {VALID_ARRIVAL_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.queue_depth < 0:
+            raise ConfigError(
+                f"arrival.queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if not self.scale > 0:
+            raise ConfigError(f"arrival.scale must be > 0, got {self.scale}")
+        if self.mode == "closed":
+            if self.queue_depth < 1:
+                raise ConfigError(
+                    "arrival.queue_depth must be >= 1 in closed mode "
+                    f"(the outstanding population), got {self.queue_depth}"
+                )
+            if self.scale != 1.0:
+                raise ConfigError(
+                    "arrival.scale has no effect in closed mode (the "
+                    f"population paces the run); leave it 1.0, got {self.scale}"
+                )
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether this is the closed (fixed-population) discipline."""
+        return self.mode == "closed"
+
+    def describe(self) -> str:
+        """Short digest for :meth:`ScenarioSpec.describe` and reports."""
+        if self.is_closed:
+            return f"closed, qd={self.queue_depth}"
+        text = f"x{self.scale:g}"
+        if self.queue_depth:
+            text += f", qd={self.queue_depth}"
+        return text

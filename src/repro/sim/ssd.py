@@ -32,19 +32,30 @@ touch different chips proceed in parallel — ``NandSpec.num_chips`` and
 ``num_channels`` finally buy concurrency instead of being serialized
 through one token.
 
-Two host-side knobs shape the arrival process: ``queue_depth`` bounds
-the number of in-flight requests (arrivals block at the submission
-queue when it is full — admission wait counts toward response time),
-and ``arrival_scale`` divides the trace's inter-arrival gaps, the
-open-loop intensity knob the saturation sweeps turn.
+On a multi-*plane* device (``NandSpec.planes_per_chip > 1``) the
+overlay goes one level deeper: each op-log segment is (chip, plane)-
+attributed, a visit holds its *plane* for transfer + array time while
+the chip (the shared die I/O port) and the channel bus are held only
+during the transfer — so sibling planes overlap their array times and
+multi-plane program/erase commands buy real concurrency.
+
+The arrival process is an :class:`~repro.sim.arrival.ArrivalSpec`: an
+*open* loop walks the trace timestamps (``scale`` divides the gaps,
+``queue_depth`` bounds the submission queue), while a *closed* loop
+keeps a fixed population of ``queue_depth`` requests outstanding and
+admits the next one on each completion — the fio-style saturation
+driver whose ``throughput_kiops`` at QD = N is the QD-sweep metric.
+The legacy ``queue_depth`` / ``arrival_scale`` keywords of
+:meth:`SSD.replay` still work and map onto an open-loop spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Protocol
+from typing import Callable, Generator, Iterator, Protocol
 
 from repro.errors import ConfigError
+from repro.sim.arrival import ArrivalSpec
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import Resource
 from repro.traces.record import IORequest, OpType, Trace
@@ -293,23 +304,29 @@ class SSD:
         queue_depth: int = 0,
         arrival_scale: float = 1.0,
         tenants: tuple[tuple[str, int, int], ...] = (),
+        arrival: ArrivalSpec | None = None,
     ) -> RunResult:
         """Replay a trace; returns aggregated :class:`RunResult`.
 
-        ``queue_depth`` (timed mode) bounds in-flight requests — 0
-        means an unbounded host queue; ``arrival_scale`` (timed mode)
-        divides inter-arrival gaps, scaling the offered load.  Both are
-        ignored by sequential replays, which have no arrival process.
+        ``arrival`` (timed mode) is the arrival discipline — open-loop
+        trace timestamps or a closed fixed-QD population (see
+        :class:`~repro.sim.arrival.ArrivalSpec`).  The legacy
+        ``queue_depth`` / ``arrival_scale`` keywords spell the open-loop
+        knobs directly and may not be combined with ``arrival``.  The
+        arrival process is ignored by sequential replays.
 
         ``tenants`` — ``(name, start_byte, size_bytes)`` LBA partitions
         — turns on per-tenant accounting: each request is attributed to
         the partition containing its offset, filling the result's
         ``tenant_*`` aggregates.
         """
-        if queue_depth < 0:
-            raise ConfigError(f"queue_depth must be >= 0, got {queue_depth}")
-        if not arrival_scale > 0.0:
-            raise ConfigError(f"arrival_scale must be > 0, got {arrival_scale}")
+        if arrival is None:
+            arrival = ArrivalSpec(queue_depth=queue_depth, scale=arrival_scale)
+        elif queue_depth != 0 or arrival_scale != 1.0:
+            raise ConfigError(
+                "pass either arrival= or the legacy queue_depth/arrival_scale "
+                "keywords, not both"
+            )
         self._tenant_ranges = tuple(
             (start, start + size, name) for name, start, size in tenants
         )
@@ -317,7 +334,7 @@ class SSD:
             if mode == "sequential":
                 return self._replay_sequential(trace)
             if mode == "timed":
-                return self._replay_timed(trace, queue_depth, arrival_scale)
+                return self._replay_timed(trace, arrival)
         finally:
             self._tenant_ranges = ()
         raise ConfigError(f"unknown replay mode {mode!r}")
@@ -375,27 +392,27 @@ class SSD:
         self._finalize(result)
         return result
 
-    def _timed_topology(self) -> tuple[int, int]:
-        """(num_chips, num_channels) of the FTL's device (1/1 fallback
-        for bare test FTLs that carry no device)."""
+    def _timed_topology(self) -> tuple[int, int, int]:
+        """(num_chips, num_channels, planes_per_chip) of the FTL's
+        device (1/1/1 fallback for bare test FTLs with no device)."""
         device = getattr(self.ftl, "device", None)
         spec = getattr(device, "spec", None)
         if spec is None:
-            return 1, 1
-        return spec.num_chips, spec.num_channels
+            return 1, 1, 1
+        return spec.num_chips, spec.num_channels, spec.planes_per_chip
 
-    def _replay_timed(
-        self, trace: Trace, queue_depth: int, arrival_scale: float
-    ) -> RunResult:
+    def _replay_timed(self, trace: Trace, arrival: ArrivalSpec) -> RunResult:
         result = self._base_result(trace)
-        num_chips, num_channels = self._timed_topology()
-        if num_chips == 1 and num_channels == 1:
-            timed_extra = self._replay_timed_serialized(
-                trace, result, queue_depth, arrival_scale
+        num_chips, num_channels, planes = self._timed_topology()
+        if planes > 1:
+            timed_extra = self._replay_timed_planes(
+                trace, result, arrival, num_chips, num_channels, planes
             )
+        elif num_chips == 1 and num_channels == 1:
+            timed_extra = self._replay_timed_serialized(trace, result, arrival)
         else:
             timed_extra = self._replay_timed_parallel(
-                trace, result, queue_depth, arrival_scale, num_chips, num_channels
+                trace, result, arrival, num_chips, num_channels
             )
         self._finalize(result)  # rebuilds result.extra from the FTL stats
         result.extra.update(timed_extra)
@@ -431,6 +448,51 @@ class SSD:
                 yield slots.request()
             engine.process(dispatch(request, arrival))
 
+    def _closed_admit(
+        self,
+        engine: Engine,
+        trace: Trace,
+        queue_depth: int,
+        dispatch: Callable[[IORequest, float], Generator[Event, None, None]],
+    ) -> None:
+        """Seed a closed-loop population of ``queue_depth`` requests.
+
+        Trace timestamps are ignored: each request's completion admits
+        the next one, so exactly ``queue_depth`` requests stay in flight
+        until the trace drains.  Response time = completion - admission
+        (there is no separate queueing wait — a slot *is* admission).
+        """
+        iterator: Iterator[IORequest] = iter(trace)
+
+        def run_one(request: IORequest) -> Generator[Event, None, None]:
+            yield from dispatch(request, engine.now)
+            successor = next(iterator, None)
+            if successor is not None:
+                engine.process(run_one(successor))
+
+        for _ in range(queue_depth):
+            request = next(iterator, None)
+            if request is None:
+                break
+            engine.process(run_one(request))
+
+    def _drive(
+        self,
+        engine: Engine,
+        trace: Trace,
+        arrival: ArrivalSpec,
+        slots: Resource | None,
+        dispatch: Callable[[IORequest, float], Generator[Event, None, None]],
+    ) -> None:
+        """Start the configured arrival process and run it to completion."""
+        if arrival.is_closed:
+            self._closed_admit(engine, trace, arrival.queue_depth, dispatch)
+        else:
+            engine.process(
+                self._timed_source(engine, trace, arrival.scale, slots, dispatch)
+            )
+        engine.run()
+
     def _account_timed(
         self, result: RunResult, request: IORequest, latency: float, response_us: float
     ) -> None:
@@ -460,23 +522,26 @@ class SSD:
         self,
         trace: Trace,
         result: RunResult,
-        queue_depth: int,
-        arrival_scale: float,
+        arrival: ArrivalSpec,
     ) -> dict[str, float]:
         """Single-chip, single-channel timed replay.
 
         The historical capacity-1 model: a request holds the whole
-        back end for its summed service time.  With ``queue_depth=0``
-        and ``arrival_scale=1.0`` the event schedule — and therefore
-        every response time — is byte-identical to the pre-refactor
-        engine, which the golden timed run pins.
+        back end for its summed service time.  With the default open
+        arrival (``queue_depth=0``, ``scale=1.0``) the event schedule —
+        and therefore every response time — is byte-identical to the
+        pre-refactor engine, which the golden timed run pins.
         """
         engine = Engine()
         device = Resource(engine, capacity=1)
-        slots = Resource(engine, capacity=queue_depth) if queue_depth else None
+        slots = (
+            Resource(engine, capacity=arrival.queue_depth)
+            if arrival.queue_depth and not arrival.is_closed
+            else None
+        )
 
         def one_request(
-            request: IORequest, arrival: float
+            request: IORequest, arrival_us: float
         ) -> Generator[Event, None, None]:
             grant = device.request()
             yield grant
@@ -485,12 +550,9 @@ class SSD:
             device.release()
             if slots is not None:
                 slots.release()
-            self._account_timed(result, request, latency, engine.now - arrival)
+            self._account_timed(result, request, latency, engine.now - arrival_us)
 
-        engine.process(
-            self._timed_source(engine, trace, arrival_scale, slots, one_request)
-        )
-        engine.run()
+        self._drive(engine, trace, arrival, slots, one_request)
         result.simulated_us = engine.now
         if slots is not None:
             return {"timed.admission_wait_us": slots.wait_us}
@@ -511,7 +573,7 @@ class SSD:
         latency = self.service(request)
         ops = device.end_oplog()
         per_chip: dict[int, list[float]] = {}
-        for chip, array_us, transfer_us in ops:
+        for chip, _plane, array_us, transfer_us in ops:
             totals = per_chip.get(chip)
             if totals is None:
                 per_chip[chip] = [transfer_us, array_us]
@@ -520,12 +582,34 @@ class SSD:
                 totals[1] += array_us
         return latency, per_chip
 
+    def _service_profiled_planes(
+        self, request: IORequest
+    ) -> tuple[float, dict[tuple[int, int], list[float]]]:
+        """Like :meth:`_service_profiled`, keyed by (chip, plane).
+
+        Fused multi-plane commands report one segment per plane sharing
+        the array time, so each plane's resource is held for the real
+        (overlapped) duration.
+        """
+        device = self.ftl.device
+        device.begin_oplog()
+        latency = self.service(request)
+        ops = device.end_oplog()
+        per_plane: dict[tuple[int, int], list[float]] = {}
+        for chip, plane, array_us, transfer_us in ops:
+            totals = per_plane.get((chip, plane))
+            if totals is None:
+                per_plane[(chip, plane)] = [transfer_us, array_us]
+            else:
+                totals[0] += transfer_us
+                totals[1] += array_us
+        return latency, per_plane
+
     def _replay_timed_parallel(
         self,
         trace: Trace,
         result: RunResult,
-        queue_depth: int,
-        arrival_scale: float,
+        arrival: ArrivalSpec,
         num_chips: int,
         num_channels: int,
     ) -> dict[str, float]:
@@ -544,7 +628,11 @@ class SSD:
         channel_of = device.geometry.channel_of_chip
         chips = [Resource(engine) for _ in range(num_chips)]
         buses = [Resource(engine) for _ in range(num_channels)]
-        slots = Resource(engine, capacity=queue_depth) if queue_depth else None
+        slots = (
+            Resource(engine, capacity=arrival.queue_depth)
+            if arrival.queue_depth and not arrival.is_closed
+            else None
+        )
 
         def chip_visit(
             chip_index: int, transfer_us: float, array_us: float
@@ -561,7 +649,7 @@ class SSD:
             chip.release()
 
         def one_request(
-            request: IORequest, arrival: float
+            request: IORequest, arrival_us: float
         ) -> Generator[Event, None, None]:
             latency, per_chip = self._service_profiled(request)
             if per_chip:
@@ -572,12 +660,9 @@ class SSD:
                 yield engine.all_of(visits)
             if slots is not None:
                 slots.release()
-            self._account_timed(result, request, latency, engine.now - arrival)
+            self._account_timed(result, request, latency, engine.now - arrival_us)
 
-        engine.process(
-            self._timed_source(engine, trace, arrival_scale, slots, one_request)
-        )
-        engine.run()
+        self._drive(engine, trace, arrival, slots, one_request)
         makespan = engine.now
         result.simulated_us = makespan
         extra: dict[str, float] = {}
@@ -587,6 +672,92 @@ class SSD:
             extra["timed.chip_util_mean"] = sum(chip_utils) / len(chip_utils)
             extra["timed.chip_util_max"] = max(chip_utils)
             extra["timed.bus_util_max"] = max(bus_utils)
+            extra["timed.chip_wait_us"] = sum(chip.wait_us for chip in chips)
+            extra["timed.bus_wait_us"] = sum(bus.wait_us for bus in buses)
+            if slots is not None:
+                extra["timed.admission_wait_us"] = slots.wait_us
+        return extra
+
+    def _replay_timed_planes(
+        self,
+        trace: Trace,
+        result: RunResult,
+        arrival: ArrivalSpec,
+        num_chips: int,
+        num_channels: int,
+        planes_per_chip: int,
+    ) -> dict[str, float]:
+        """Plane-parallel timed replay (``planes_per_chip > 1``).
+
+        One level below the chip model: a visit holds its *plane* for
+        transfer + array time, while the chip — the die's shared I/O
+        port — and the channel bus are held only during the transfer.
+        Sibling planes therefore overlap their array times (the whole
+        point of multi-plane commands), but their transfers still
+        serialize through the die and the bus, exactly the contention a
+        real multi-plane die has.
+        """
+        engine = Engine()
+        device = self.ftl.device
+        channel_of = device.geometry.channel_of_chip
+        chips = [Resource(engine) for _ in range(num_chips)]
+        planes = [
+            [Resource(engine) for _ in range(planes_per_chip)]
+            for _ in range(num_chips)
+        ]
+        buses = [Resource(engine) for _ in range(num_channels)]
+        slots = (
+            Resource(engine, capacity=arrival.queue_depth)
+            if arrival.queue_depth and not arrival.is_closed
+            else None
+        )
+
+        def plane_visit(
+            chip_index: int, plane_index: int, transfer_us: float, array_us: float
+        ) -> Generator[Event, None, None]:
+            plane = planes[chip_index][plane_index]
+            yield plane.request()
+            if transfer_us > 0.0:
+                chip = chips[chip_index]
+                yield chip.request()
+                bus = buses[channel_of(chip_index)]
+                yield bus.request()
+                yield engine.timeout(transfer_us)
+                bus.release()
+                chip.release()
+            if array_us > 0.0:
+                yield engine.timeout(array_us)
+            plane.release()
+
+        def one_request(
+            request: IORequest, arrival_us: float
+        ) -> Generator[Event, None, None]:
+            latency, per_plane = self._service_profiled_planes(request)
+            if per_plane:
+                visits = [
+                    engine.process(plane_visit(chip, plane, transfer_us, array_us))
+                    for (chip, plane), (transfer_us, array_us) in per_plane.items()
+                ]
+                yield engine.all_of(visits)
+            if slots is not None:
+                slots.release()
+            self._account_timed(result, request, latency, engine.now - arrival_us)
+
+        self._drive(engine, trace, arrival, slots, one_request)
+        makespan = engine.now
+        result.simulated_us = makespan
+        extra: dict[str, float] = {}
+        if makespan > 0.0:
+            plane_utils = [
+                plane.utilization(makespan) for per_chip in planes for plane in per_chip
+            ]
+            bus_utils = [bus.utilization(makespan) for bus in buses]
+            extra["timed.plane_util_mean"] = sum(plane_utils) / len(plane_utils)
+            extra["timed.plane_util_max"] = max(plane_utils)
+            extra["timed.bus_util_max"] = max(bus_utils)
+            extra["timed.plane_wait_us"] = sum(
+                plane.wait_us for per_chip in planes for plane in per_chip
+            )
             extra["timed.chip_wait_us"] = sum(chip.wait_us for chip in chips)
             extra["timed.bus_wait_us"] = sum(bus.wait_us for bus in buses)
             if slots is not None:

@@ -54,8 +54,14 @@ def _assert_equal(path: str, expected, actual) -> None:
 
 
 #: capture() entries beyond the ReplaySpec matrix: the pre-refactor
-#: single-chip timed run and the PR 5 channel-parallel timed run.
-TIMED_RUNS = {"conventional/timed", "conventional/timed-multichip"}
+#: single-chip timed run, the PR 5 channel-parallel timed run, and the
+#: plane-overlay / closed-loop runs.
+TIMED_RUNS = {
+    "conventional/timed",
+    "conventional/timed-multichip",
+    "conventional/timed-planes",
+    "conventional/timed-closed",
+}
 
 
 def test_golden_matrix_is_complete(golden):

@@ -73,8 +73,9 @@ class TestOpLog:
         ops = device.end_oplog()
         assert device.oplog is None  # disarmed
         assert ops is log and len(ops) == 2
-        (p_chip, p_array, p_transfer), (r_chip, r_array, r_transfer) = ops
+        (p_chip, p_plane, p_array, p_transfer), (r_chip, r_plane, r_array, r_transfer) = ops
         assert p_chip == r_chip == 0
+        assert p_plane == r_plane == 0
         assert p_array == device.latency.program_array_us[0]
         assert r_array == device.latency.read_array_us[0]
         assert p_transfer == r_transfer == page_transfer
@@ -90,8 +91,8 @@ class TestOpLog:
         device.erase_pbn(erase_pbn)
         ops = device.end_oplog()
         assert [op[0] for op in ops] == [0, 1, 0]  # src, dst, erased chip
-        assert all(op[2] == 0.0 for op in ops)  # copyback/erase skip the bus
-        assert ops[2][1] == spec.erase_us
+        assert all(op[3] == 0.0 for op in ops)  # copyback/erase skip the bus
+        assert ops[2][2] == spec.erase_us
 
     def test_retry_reports_its_bus_share(self):
         spec = tiny_spec()
@@ -102,8 +103,9 @@ class TestOpLog:
         retry_us = steps * (array + transfer)
         device.begin_oplog()
         device.note_retry(0, retry_us)
-        ((chip, array_us, transfer_us),) = device.end_oplog()
+        ((chip, plane, array_us, transfer_us),) = device.end_oplog()
         assert chip == 0
+        assert plane == 0
         # The split recovers steps * array / steps * transfer exactly
         # (up to float association).
         assert transfer_us == pytest.approx(steps * transfer, rel=1e-12)

@@ -1,0 +1,175 @@
+"""Plane geometry and multi-plane command fusion.
+
+The plane model is pure convention plus two fused commands:
+
+* in-chip block ``b`` sits on plane ``b % planes_per_chip`` (the
+  interleaved numbering real parts use), so consecutive blocks are
+  sibling-plane blocks;
+* a fused program shares one array time across the addressed planes
+  while the page-register loads serialize;
+* a fused erase runs every plane's erase in parallel — one latency,
+  every block's wear counted.
+"""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.nand.chip import NandChip
+from repro.nand.device import NandDevice
+from repro.nand.geometry import Geometry
+from repro.nand.spec import NandSpec, tiny_spec
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("planes", [0, -1])
+    def test_rejects_non_positive_planes(self, planes):
+        with pytest.raises(ConfigError, match="planes_per_chip"):
+            NandSpec(planes_per_chip=planes)
+
+    def test_rejects_planes_not_dividing_blocks(self):
+        with pytest.raises(ConfigError, match="planes_per_chip"):
+            NandSpec(blocks_per_chip=66, planes_per_chip=4)
+
+    def test_blocks_per_plane(self):
+        spec = tiny_spec(planes_per_chip=4)
+        assert spec.blocks_per_plane == spec.blocks_per_chip // 4
+
+    def test_describe_mentions_planes_only_when_parallel(self):
+        assert "plane" not in tiny_spec().describe().lower()
+        assert "plane" in tiny_spec(planes_per_chip=2).describe().lower()
+
+
+class TestPlaneGeometry:
+    @pytest.fixture
+    def geometry(self) -> Geometry:
+        return Geometry(tiny_spec(num_chips=2, planes_per_chip=2))
+
+    def test_interleaved_block_numbering(self, geometry):
+        # In-chip block b sits on plane b % planes, on every chip.
+        bpc = geometry.blocks_per_chip
+        for chip in range(2):
+            base = chip * bpc
+            assert geometry.plane_of_pbn(base + 0) == 0
+            assert geometry.plane_of_pbn(base + 1) == 1
+            assert geometry.plane_of_pbn(base + 2) == 0
+            assert geometry.plane_of_pbn(base + 3) == 1
+
+    def test_plane_of_ppn_matches_its_block(self, geometry):
+        for pbn in range(2 * geometry.blocks_per_chip):
+            ppn = geometry.first_ppn_of_pbn(pbn)
+            assert geometry.plane_of_ppn(ppn) == geometry.plane_of_pbn(pbn)
+
+    def test_single_plane_devices_are_all_plane_zero(self):
+        geometry = Geometry(tiny_spec(num_chips=2))
+        assert all(
+            geometry.plane_of_pbn(pbn) == 0
+            for pbn in range(2 * geometry.blocks_per_chip)
+        )
+
+
+class TestChipMultiProgram:
+    @pytest.fixture
+    def chip(self) -> NandChip:
+        return NandChip(0, tiny_spec(planes_per_chip=2))
+
+    def test_shares_one_array_time(self, chip):
+        # Without transfers, the fused program costs exactly one plane's
+        # array time — that is the whole point of the command.
+        single = NandChip(1, tiny_spec(planes_per_chip=2))
+        alone = single.program(0, 0, include_transfer=False)
+        fused = chip.multi_program([0, 1], 0, include_transfer=False)
+        assert fused == alone
+
+    def test_transfers_serialize(self, chip):
+        single = NandChip(1, tiny_spec(planes_per_chip=2))
+        total = single.program(0, 0)  # array + one transfer
+        array = NandChip(2, tiny_spec(planes_per_chip=2)).program(
+            0, 0, include_transfer=False
+        )
+        fused = chip.multi_program([0, 1], 0)
+        assert fused == pytest.approx(array + 2 * (total - array))
+
+    def test_programs_every_plane(self, chip):
+        chip.multi_program([0, 1], 0, tags=["a", "b"])
+        assert chip.is_programmed(0, 0) and chip.is_programmed(1, 0)
+        assert chip.tag(0, 0) == "a" and chip.tag(1, 0) == "b"
+        assert chip.stats.programs == 2
+
+    def test_same_plane_blocks_rejected(self, chip):
+        # Blocks 0 and 2 both sit on plane 0 of a 2-plane chip.
+        with pytest.raises(AddressError, match="distinct planes"):
+            chip.multi_program([0, 2], 0)
+
+    def test_zero_blocks_rejected(self, chip):
+        with pytest.raises(AddressError):
+            chip.multi_program([], 0)
+
+    def test_program_order_enforced_per_block(self, chip):
+        chip.program(0, 0)
+        chip.program(0, 1)
+        with pytest.raises(Exception):  # ProgramOrderError
+            chip.multi_program([0, 1], 0)
+
+
+class TestChipMultiErase:
+    @pytest.fixture
+    def chip(self) -> NandChip:
+        return NandChip(0, tiny_spec(planes_per_chip=2))
+
+    def test_one_latency_every_block_reset(self, chip):
+        chip.program(0, 0)
+        chip.program(1, 0)
+        alone = NandChip(1, tiny_spec(planes_per_chip=2)).erase(0)
+        fused = chip.multi_erase([0, 1])
+        assert fused == alone
+        assert not chip.is_programmed(0, 0) and not chip.is_programmed(1, 0)
+        assert chip.erase_count(0) == 1 and chip.erase_count(1) == 1
+        assert chip.stats.erases == 2
+
+    def test_same_plane_blocks_rejected(self, chip):
+        with pytest.raises(AddressError, match="distinct planes"):
+            chip.multi_erase([1, 3])
+
+
+class TestDeviceMultiPlaneOps:
+    @pytest.fixture
+    def device(self) -> NandDevice:
+        return NandDevice(tiny_spec(num_chips=2, planes_per_chip=2))
+
+    def test_program_logs_one_segment_per_plane(self, device):
+        device.begin_oplog()
+        latency = device.program_multi_ppn(
+            [device.geometry.make_ppn(0, 0, 0), device.geometry.make_ppn(0, 1, 0)]
+        )
+        ops = device.end_oplog()
+        assert latency > 0
+        assert len(ops) == 2
+        (c0, p0, a0, t0), (c1, p1, a1, t1) = ops
+        assert (c0, c1) == (0, 0)
+        assert {p0, p1} == {0, 1}  # one segment per sibling plane
+        assert a0 == a1 > 0  # the shared array time
+        assert t0 == t1 > 0  # each plane pays its own transfer
+
+    def test_erase_logs_shared_array_no_transfer(self, device):
+        device.program_multi_ppn(
+            [device.geometry.make_ppn(0, 0, 0), device.geometry.make_ppn(0, 1, 0)]
+        )
+        device.begin_oplog()
+        latency = device.erase_multi_pbn([0, 1])
+        ops = device.end_oplog()
+        assert [op for op in ops] == [(0, 0, latency, 0.0), (0, 1, latency, 0.0)]
+
+    def test_differing_page_indices_rejected(self, device):
+        device.program_ppn(device.geometry.make_ppn(0, 1, 0))
+        with pytest.raises(AddressError, match="one page index"):
+            device.program_multi_ppn(
+                [
+                    device.geometry.make_ppn(0, 0, 0),
+                    device.geometry.make_ppn(0, 1, 1),
+                ]
+            )
+
+    def test_cross_chip_siblings_rejected(self, device):
+        bpc = device.spec.blocks_per_chip
+        with pytest.raises(AddressError, match="one chip"):
+            device.erase_multi_pbn([0, bpc + 1])

@@ -26,6 +26,7 @@ from repro.reliability.manager import ReliabilityConfig
 from repro.scenario.run import run_scenario
 from repro.scenario.spec import ScenarioSpec
 from repro.scenario.sweep import SweepAxis, sweep
+from repro.sim.arrival import ArrivalSpec
 
 HOUR_S = 3600.0
 
@@ -58,7 +59,7 @@ class TestRateZeroIdentity:
     def test_rate_zero_is_byte_identical(self, ftl, mode):
         kwargs = {"ftl": ftl, "mode": mode}
         if mode == "timed":
-            kwargs.update(queue_depth=16, arrival_scale=4.0)
+            kwargs.update(arrival=ArrivalSpec(queue_depth=16, scale=4.0))
         baseline = run_scenario(small_spec(**kwargs))
         with_zero = run_scenario(small_spec(faults=FaultSpec(rate=0.0), **kwargs))
         assert as_dict(baseline) == as_dict(with_zero)
@@ -86,8 +87,7 @@ class TestDeterminism:
     FAULTED = dict(
         num_requests=600,
         mode="timed",
-        queue_depth=16,
-        arrival_scale=4.0,
+        arrival=ArrivalSpec(queue_depth=16, scale=4.0),
         faults=FaultSpec(rate=0.01, burst=4, target="mixed"),
     )
 
@@ -126,8 +126,7 @@ class TestInjectionEffects:
         # channel-parallel timed engine.
         base = small_spec(
             mode="timed",
-            queue_depth=16,
-            arrival_scale=4.0,
+            arrival=ArrivalSpec(queue_depth=16, scale=4.0),
             device=sim_spec(blocks_per_chip=16, num_chips=4, num_channels=2),
         )
         faulted = base.with_(faults=FaultSpec(rate=0.02, burst=4, target="mixed"))

@@ -140,8 +140,8 @@ class TestCommittedExamples:
         assert base.device.num_chips > 1
         assert base.device.num_channels > 1
         paths = [axis.path for axis in bundle.axes]
-        assert "ftl" in paths and "arrival_scale" in paths
-        scales = dict(zip(paths, bundle.axes))["arrival_scale"].values
+        assert "ftl" in paths and "arrival.scale" in paths
+        scales = dict(zip(paths, bundle.axes))["arrival.scale"].values
         assert all(s > 0 for s in scales) and max(scales) > 1.0
         # The base spec round-trips losslessly through TOML (it is the
         # memo cache key; a lossy trip would fork the cache).
@@ -151,5 +151,11 @@ class TestCommittedExamples:
 
     @pytest.mark.parametrize("value", ["0.0", "-2.5"])
     def test_non_positive_arrival_scale_rejected_with_dotted_path(self, value):
-        with pytest.raises(ConfigError, match="arrival_scale"):
+        # Both the [arrival] section and the deprecated top-level shim
+        # report the canonical dotted path.
+        with pytest.raises(ConfigError, match=r"arrival\.scale"):
+            parse_scenario_file(
+                f'mode = "timed"\n[arrival]\nscale = {value}\n', fmt="toml"
+            )
+        with pytest.raises(ConfigError, match=r"arrival\.scale"):
             parse_scenario_file(f'mode = "timed"\narrival_scale = {value}\n', fmt="toml")

@@ -24,6 +24,7 @@ from repro.scenario.serialize import (
     spec_to_toml,
 )
 from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
+from repro.sim.arrival import ArrivalSpec
 
 # -- strategies --------------------------------------------------------
 
@@ -141,8 +142,34 @@ def _with_faults(spec: ScenarioSpec) -> st.SearchStrategy[ScenarioSpec]:
     )
 
 
+def open_arrivals() -> st.SearchStrategy[ArrivalSpec]:
+    return st.builds(
+        ArrivalSpec,
+        queue_depth=st.integers(min_value=0, max_value=256),
+        scale=st.floats(min_value=0.1, max_value=64.0, allow_nan=False),
+    )
+
+
+def _with_arrival(spec: ScenarioSpec) -> st.SearchStrategy[ScenarioSpec]:
+    # closed mode is only legal on timed specs, so the arrival strategy
+    # is conditioned on the spec it lands on.
+    options = [
+        st.just(spec),
+        open_arrivals().map(lambda a: spec.with_(arrival=a)),
+    ]
+    if spec.mode == "timed":
+        options.append(
+            st.integers(min_value=1, max_value=128).map(
+                lambda qd: spec.with_(
+                    arrival=ArrivalSpec(mode="closed", queue_depth=qd)
+                )
+            )
+        )
+    return st.one_of(*options)
+
+
 def scenarios() -> st.SearchStrategy[ScenarioSpec]:
-    return _scenario_bases().flatmap(_with_faults)
+    return _scenario_bases().flatmap(_with_faults).flatmap(_with_arrival)
 
 
 def _scenario_bases() -> st.SearchStrategy[ScenarioSpec]:
@@ -166,8 +193,6 @@ def _scenario_bases() -> st.SearchStrategy[ScenarioSpec]:
         ),
         retention_age_s=st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
         mode=st.sampled_from(["sequential", "timed"]),
-        queue_depth=st.integers(min_value=0, max_value=256),
-        arrival_scale=st.floats(min_value=0.1, max_value=64.0, allow_nan=False),
     )
 
 
@@ -214,11 +239,33 @@ def test_channel_topology_and_queueing_knobs_survive_roundtrip():
     spec = ScenarioSpec(
         device=NandSpec(num_chips=4, num_channels=2),
         mode="timed",
-        queue_depth=64,
-        arrival_scale=16.0,
+        arrival=ArrivalSpec(queue_depth=64, scale=16.0),
     )
     assert spec_from_toml(spec_to_toml(spec)) == spec
     assert spec_from_json(spec_to_json(spec)) == spec
+
+
+def test_closed_loop_and_planes_survive_roundtrip():
+    spec = ScenarioSpec(
+        device=NandSpec(num_chips=4, num_channels=2, planes_per_chip=4),
+        mode="timed",
+        arrival=ArrivalSpec(mode="closed", queue_depth=32),
+    )
+    assert spec_from_toml(spec_to_toml(spec)) == spec
+    assert spec_from_json(spec_to_json(spec)) == spec
+
+
+def test_legacy_queueing_knobs_fold_into_the_arrival_section():
+    """The deprecated top-level spellings canonicalize: the folded spec
+    serializes (and hashes) identically to the [arrival] spelling."""
+    with pytest.warns(DeprecationWarning, match=r"\[arrival\] section"):
+        legacy = ScenarioSpec(mode="timed", queue_depth=64, arrival_scale=16.0)
+    modern = ScenarioSpec(
+        mode="timed", arrival=ArrivalSpec(queue_depth=64, scale=16.0)
+    )
+    assert legacy == modern
+    assert spec_to_toml(legacy) == spec_to_toml(modern)
+    assert legacy.queue_depth == 0 and legacy.arrival_scale == 1.0
 
 
 # -- error reporting ---------------------------------------------------

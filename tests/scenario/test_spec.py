@@ -122,7 +122,7 @@ class TestTimedKnobs:
 
     @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
     def test_non_positive_arrival_scale_rejected(self, value):
-        with pytest.raises(ConfigError, match="arrival_scale"):
+        with pytest.raises(ConfigError, match=r"arrival\.scale"):
             ScenarioSpec(arrival_scale=value)
 
     def test_describe_shows_queueing_knobs_in_timed_mode(self):

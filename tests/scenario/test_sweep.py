@@ -253,3 +253,43 @@ class TestListPaths:
         kind, default = rows["tenants.logger.share"]
         assert "float" in kind
         assert "0.5" in str(default)
+
+
+class TestArrivalAxis:
+    """The [arrival] section is sweepable and auto-attached."""
+
+    def test_set_path_auto_attaches_the_section(self):
+        spec = set_path(ScenarioSpec(mode="timed"), "arrival.queue_depth", 16)
+        assert spec.arrival is not None
+        assert spec.arrival.queue_depth == 16
+        assert get_path(spec, "arrival.queue_depth") == 16
+
+    def test_qd_sweep_expands(self):
+        base = ScenarioSpec(mode="timed")
+        axis = SweepAxis("arrival.queue_depth", (1, 4, 16, 64))
+        specs = sweep(base, [axis])
+        assert [s.effective_arrival.queue_depth for s in specs] == [1, 4, 16, 64]
+        assert axis_values(specs[2], [axis]) == [16]
+
+    def test_closed_mode_sweepable(self):
+        base = ScenarioSpec(
+            mode="timed",
+        )
+        specs = sweep(
+            base,
+            [
+                SweepAxis("arrival.mode", ("closed",)),
+                SweepAxis("arrival.queue_depth", (8, 32)),
+            ],
+        )
+        assert all(s.effective_arrival.is_closed for s in specs)
+
+    def test_bad_arrival_path_names_itself(self):
+        with pytest.raises(ConfigError, match=r"arrival\.queue_dpeth"):
+            set_path(ScenarioSpec(mode="timed"), "arrival.queue_dpeth", 4)
+
+    def test_list_paths_documents_the_section(self):
+        paths = [path for path, _, _ in list_paths(ScenarioSpec())]
+        assert "arrival.mode" in paths
+        assert "arrival.queue_depth" in paths
+        assert "arrival.scale" in paths

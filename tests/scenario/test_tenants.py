@@ -8,6 +8,7 @@ from repro.errors import ConfigError
 from repro.nand.spec import sim_spec
 from repro.scenario.run import build_trace, run_scenario
 from repro.scenario.spec import PreconditionPhase, ScenarioSpec, TenantSpec
+from repro.sim.arrival import ArrivalSpec
 from repro.traces.record import OpType
 
 #: two-tenant base: a skewed database and a write-heavy logger.
@@ -161,7 +162,7 @@ class TestTenantRuns:
                 ),
             ),
             mode="timed",
-            queue_depth=32,
+            arrival=ArrivalSpec(queue_depth=32),
         )
         result = run_scenario(spec)
         pct = result.tenant_response_percentiles()

@@ -1,0 +1,60 @@
+"""ArrivalSpec: the frozen arrival-process spec of a timed replay."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.arrival import VALID_ARRIVAL_MODES, ArrivalSpec
+
+
+class TestDefaults:
+    def test_default_is_native_open_loop(self):
+        spec = ArrivalSpec()
+        assert spec.mode == "open"
+        assert spec.queue_depth == 0
+        assert spec.scale == 1.0
+        assert not spec.is_closed
+
+    def test_frozen(self):
+        spec = ArrivalSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.scale = 2.0  # type: ignore[misc]
+
+    def test_modes_enumerated(self):
+        assert set(VALID_ARRIVAL_MODES) == {"open", "closed"}
+
+
+class TestValidation:
+    def test_bad_mode_names_the_dotted_path(self):
+        with pytest.raises(ConfigError, match=r"arrival\.mode"):
+            ArrivalSpec(mode="bursty")
+
+    def test_negative_queue_depth_rejected(self):
+        with pytest.raises(ConfigError, match=r"arrival\.queue_depth"):
+            ArrivalSpec(queue_depth=-1)
+
+    @pytest.mark.parametrize("scale", [0.0, -4.0, float("nan")])
+    def test_non_positive_scale_rejected(self, scale):
+        with pytest.raises(ConfigError, match=r"arrival\.scale"):
+            ArrivalSpec(scale=scale)
+
+    def test_closed_requires_a_population(self):
+        with pytest.raises(ConfigError, match="outstanding population"):
+            ArrivalSpec(mode="closed")
+
+    def test_closed_rejects_a_scale(self):
+        # scale divides inter-arrival gaps; a closed loop has none.
+        with pytest.raises(ConfigError, match=r"arrival\.scale"):
+            ArrivalSpec(mode="closed", queue_depth=8, scale=2.0)
+
+
+class TestDescribe:
+    def test_open(self):
+        assert ArrivalSpec(scale=16.0).describe() == "x16"
+        assert ArrivalSpec(scale=16.0, queue_depth=64).describe() == "x16, qd=64"
+
+    def test_closed(self):
+        spec = ArrivalSpec(mode="closed", queue_depth=32)
+        assert spec.is_closed
+        assert spec.describe() == "closed, qd=32"

@@ -20,11 +20,15 @@ from repro.ftl.conventional import ConventionalFTL
 from repro.nand.device import NandDevice
 from repro.nand.spec import sim_spec, tiny_spec
 from repro.scenario.spec import ScenarioSpec
+from repro.sim.arrival import ArrivalSpec
 from repro.sim.ssd import SSD
 from repro.traces.record import IORequest, OpType, Trace
 
 #: One shared memoizing runner: specs repeat across tests, replays don't.
 _RUNNER = ReplayRunner()
+
+#: the saturating open-loop arrival most tests here drive with.
+_DRIVEN = ArrivalSpec(scale=24.0)
 
 
 def _run(**changes):
@@ -33,7 +37,7 @@ def _run(**changes):
         num_requests=1200,
         seed=42,
         mode="timed",
-        arrival_scale=24.0,
+        arrival=_DRIVEN,
     )
     base.update(changes)
     return _RUNNER.run(ScenarioSpec(**base))
@@ -129,15 +133,15 @@ class TestOverlayInvariants:
 class TestHostKnobs:
     def test_bounded_queue_applies_backpressure(self):
         open_loop = _run(device=_device(4, 2))
-        bounded = _run(device=_device(4, 2), queue_depth=4)
+        bounded = _run(device=_device(4, 2), arrival=ArrivalSpec(scale=24.0, queue_depth=4))
         # A 4-deep host queue stalls the arrival source, stretching the
         # replay; the admission wait is reported.
         assert bounded.simulated_us >= open_loop.simulated_us
         assert bounded.extra["timed.admission_wait_us"] > 0.0
 
     def test_arrival_scale_compresses_the_replay(self):
-        relaxed = _run(device=_device(4, 2), arrival_scale=1.0)
-        driven = _run(device=_device(4, 2), arrival_scale=64.0)
+        relaxed = _run(device=_device(4, 2), arrival=ArrivalSpec())
+        driven = _run(device=_device(4, 2), arrival=ArrivalSpec(scale=64.0))
         assert driven.simulated_us < relaxed.simulated_us
         assert driven.throughput_kiops > relaxed.throughput_kiops
         driven_p95 = driven.response_percentiles()["p95_us"]
@@ -145,17 +149,135 @@ class TestHostKnobs:
         assert driven_p95 > relaxed_p95  # saturation costs latency
 
     def test_knobs_also_drive_the_serialized_single_chip_path(self):
-        relaxed = _run(device=_device(1, 1), arrival_scale=1.0)
-        driven = _run(device=_device(1, 1), arrival_scale=64.0)
+        relaxed = _run(device=_device(1, 1), arrival=ArrivalSpec())
+        driven = _run(device=_device(1, 1), arrival=ArrivalSpec(scale=64.0))
         assert driven.simulated_us < relaxed.simulated_us
-        bounded = _run(device=_device(1, 1), queue_depth=2)
+        bounded = _run(device=_device(1, 1), arrival=ArrivalSpec(scale=24.0, queue_depth=2))
         assert bounded.simulated_us >= driven.simulated_us
 
     def test_replay_validates_knobs(self):
         spec = tiny_spec()
         ssd = SSD(ConventionalFTL(NandDevice(spec)), spec.page_size)
         trace = Trace([IORequest(OpType.WRITE, 0, spec.page_size)])
-        with pytest.raises(ConfigError, match="queue_depth"):
+        with pytest.raises(ConfigError, match=r"arrival\.queue_depth"):
             ssd.replay(trace, mode="timed", queue_depth=-1)
-        with pytest.raises(ConfigError, match="arrival_scale"):
+        with pytest.raises(ConfigError, match=r"arrival\.scale"):
             ssd.replay(trace, mode="timed", arrival_scale=0.0)
+        with pytest.raises(ConfigError, match="not both"):
+            ssd.replay(
+                trace, mode="timed", queue_depth=4, arrival=ArrivalSpec()
+            )
+
+
+class TestClosedLoop:
+    """The closed arrival discipline: a fixed QD population."""
+
+    def test_throughput_monotone_nondecreasing_in_qd(self):
+        """The QD-saturation acceptance check: deeper populations never
+        lower throughput, and going 1 -> 16 must raise it (reads overlap
+        across chips even though the single append point serializes the
+        writes — lifting *that* is what multi-plane slots are for)."""
+        kiops = [
+            _run(
+                device=_device(4, 2),
+                arrival=ArrivalSpec(mode="closed", queue_depth=qd),
+            ).throughput_kiops
+            for qd in (1, 4, 16)
+        ]
+        slack = 1.0 - 1e-9
+        assert kiops[1] >= kiops[0] * slack
+        assert kiops[2] >= kiops[1] * slack
+        assert kiops[2] > 1.05 * kiops[0]
+
+    def test_population_is_bounded_by_qd(self):
+        """At QD=1 the closed loop serializes: responses are pure
+        service times and the makespan is their sum."""
+        result = _run(
+            device=_device(4, 2), arrival=ArrivalSpec(mode="closed", queue_depth=1)
+        )
+        assert result.num_requests == 1200
+        assert result.simulated_us == pytest.approx(
+            sum(result.response_times_us), rel=1e-9
+        )
+
+    def test_closed_loop_does_identical_ftl_work(self):
+        """The arrival discipline never changes *what* the FTL does."""
+        closed = _run(
+            device=_device(4, 2), arrival=ArrivalSpec(mode="closed", queue_depth=8)
+        )
+        open_loop = _run(device=_device(4, 2))
+        assert closed.ftl.stats.snapshot() == open_loop.ftl.stats.snapshot()
+
+    def test_closed_loop_drives_the_serialized_path_too(self):
+        result = _run(
+            device=_device(1, 1), arrival=ArrivalSpec(mode="closed", queue_depth=4)
+        )
+        assert result.num_requests == 1200
+        assert result.throughput_kiops > 0.0
+
+    def test_closed_requires_timed_mode(self):
+        with pytest.raises(ConfigError, match="timed"):
+            ScenarioSpec(
+                mode="sequential", arrival=ArrivalSpec(mode="closed", queue_depth=4)
+            )
+
+
+class TestPlaneParallelism:
+    """planes_per_chip buys intra-chip concurrency in timed mode."""
+
+    def _planes_device(self, planes, total_blocks=128):
+        # Roomy enough that 4 planes x 4 chips of append points do not
+        # starve the free pool (each open slot pins one block).
+        return sim_spec(
+            blocks_per_chip=total_blocks // 4,
+            num_chips=4,
+            num_channels=2,
+            planes_per_chip=planes,
+        )
+
+    def test_planes_raise_closed_loop_throughput(self):
+        """The tentpole acceptance check: at a saturating QD, multi-
+        plane devices must push measurably more KIOPS than single-plane."""
+        kiops = {
+            planes: _run(
+                device=self._planes_device(planes),
+                arrival=ArrivalSpec(mode="closed", queue_depth=32),
+            ).throughput_kiops
+            for planes in (1, 2, 4)
+        }
+        assert kiops[2] > 1.1 * kiops[1]
+        assert kiops[4] > kiops[2]
+
+    @pytest.mark.parametrize("ftl", ["conventional", "fast", "ppb", "dftl"])
+    def test_every_ftl_runs_closed_loop_on_planes(self, ftl):
+        result = _run(
+            device=self._planes_device(2),
+            ftl=ftl,
+            arrival=ArrivalSpec(mode="closed", queue_depth=8),
+        )
+        assert result.num_requests == 1200
+        assert result.throughput_kiops > 0.0
+
+    def test_plane_overlay_does_identical_ftl_work(self):
+        """Planes overlay timing; *what* the FTL does is untouched."""
+        device = self._planes_device(2)
+        timed = _run(device=device)
+        sequential = _RUNNER.run(
+            ScenarioSpec(
+                workload="web-sql", num_requests=1200, seed=42, device=device
+            )
+        )
+        assert timed.ftl.stats.snapshot() == sequential.ftl.stats.snapshot()
+
+    def test_plane_utilization_extras_reported(self):
+        result = _run(
+            device=self._planes_device(2),
+            arrival=ArrivalSpec(mode="closed", queue_depth=16),
+        )
+        extra = result.extra
+        assert 0.0 < extra["timed.plane_util_mean"] <= 1.0
+        assert extra["timed.plane_util_mean"] <= extra["timed.plane_util_max"] <= 1.0
+
+    def test_single_plane_has_no_plane_extras(self):
+        result = _run(device=_device(4, 2))
+        assert not any(key.startswith("timed.plane") for key in result.extra)

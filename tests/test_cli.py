@@ -228,7 +228,7 @@ class TestScenario:
                 "scenario", "run",
                 "examples/scenarios/multi_tenant.toml",
                 "--smoke",
-                "--set", "arrival_scale=4.0",
+                "--set", "arrival.scale=4.0",
                 "--set", "tenants.logger.workload_kwargs.read_fraction=0.05,0.95",
             ]
         )

@@ -54,6 +54,7 @@ class TestPerfHarness:
             "reliability/refresh",
             "dftl/mapping-cache",
             "timed/queueing",
+            "timed/closed-loop",
             "reliability/fault-injection",
         ]
         reliability = cases[3].spec
@@ -69,8 +70,14 @@ class TestPerfHarness:
         assert queueing.mode == "timed"
         assert queueing.device.num_chips > 1
         assert queueing.device.num_channels > 1
-        assert queueing.arrival_scale > 1.0
-        assert queueing.queue_depth > 0
+        assert queueing.effective_arrival.scale > 1.0
+        assert queueing.effective_arrival.queue_depth > 0
+        # The closed-loop case: fixed population on a multi-plane device.
+        closed = cases[6].spec
+        assert closed.mode == "timed"
+        assert closed.effective_arrival.is_closed
+        assert closed.effective_arrival.queue_depth > 0
+        assert closed.device.planes_per_chip > 1
         # The reliability-QoS loop case: faults + triage under queueing.
         faulted = cases[-1].spec
         assert faulted.mode == "timed"
